@@ -1,0 +1,170 @@
+//! Set-associative LRU cache model.
+//!
+//! Models the shared on-chip buffer that holds rows of `B`. Addresses are
+//! abstract line numbers; the engine maps each row of `B` to a contiguous
+//! line range. True LRU replacement within each set.
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use bootes_accel::LruCache;
+///
+/// let mut c = LruCache::new(2, 1); // 2 sets, direct-mapped
+/// assert!(!c.access(0)); // miss
+/// assert!(c.access(0));  // hit
+/// assert!(!c.access(2)); // maps to set 0, evicts line 0
+/// assert!(!c.access(0)); // miss again
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    sets: Vec<Vec<CacheLine>>,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheLine {
+    addr: u64,
+    last_used: u64,
+}
+
+impl LruCache {
+    /// Creates a cache with `num_sets` sets of `ways` lines each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets == 0` or `ways == 0`.
+    pub fn new(num_sets: usize, ways: usize) -> Self {
+        assert!(num_sets > 0, "cache needs at least one set");
+        assert!(ways > 0, "cache needs at least one way");
+        LruCache {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses line `addr`, returning `true` on a hit. On a miss the line is
+    /// installed, evicting the least-recently-used line of its set if full.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let set_idx = (addr % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.addr == addr) {
+            line.last_used = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if set.len() < self.ways {
+            set.push(CacheLine {
+                addr,
+                last_used: self.tick,
+            });
+        } else {
+            let victim = set
+                .iter_mut()
+                .min_by_key(|l| l.last_used)
+                .expect("set is full, hence non-empty");
+            *victim = CacheLine {
+                addr,
+                last_used: self.tick,
+            };
+        }
+        false
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_install() {
+        let mut c = LruCache::new(4, 2);
+        assert!(!c.access(10));
+        assert!(c.access(10));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Direct set: addresses 0, 4, 8 all map to set 0 of a 4-set cache.
+        let mut c = LruCache::new(4, 2);
+        c.access(0);
+        c.access(4);
+        c.access(0); // 0 is now MRU; 4 is LRU
+        c.access(8); // evicts 4
+        assert!(c.access(0), "0 must still be resident");
+        assert!(!c.access(4), "4 must have been evicted");
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = LruCache::new(2, 1);
+        c.access(0); // set 0
+        c.access(1); // set 1
+        assert!(c.access(0));
+        assert!(c.access(1));
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut c = LruCache::new(8, 4); // 32 lines
+        for round in 0..3 {
+            for addr in 0..32u64 {
+                let hit = c.access(addr);
+                if round > 0 {
+                    assert!(hit, "addr {addr} missed in round {round}");
+                }
+            }
+        }
+        assert_eq!(c.resident_lines(), 32);
+        assert_eq!(c.capacity_lines(), 32);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = LruCache::new(2, 2); // 4 lines
+        // Cyclic sweep over 8 lines with LRU: every access misses.
+        for _ in 0..4 {
+            for addr in 0..8u64 {
+                c.access(addr);
+            }
+        }
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_sets_panics() {
+        let _ = LruCache::new(0, 1);
+    }
+}

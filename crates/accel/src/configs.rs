@@ -1,0 +1,161 @@
+//! Accelerator configurations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AccelError;
+
+/// Parameters of a row-wise-product SpGEMM accelerator.
+///
+/// The three presets ([`flexagon`], [`gamma`], [`trapezoid`]) carry the cache
+/// sizes and PE counts the paper reports in §4; the remaining knobs (line
+/// size, associativity, element width, DRAM bandwidth, clock) are shared
+/// defaults chosen to be representative of HBM-attached accelerators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Human-readable accelerator name.
+    pub name: String,
+    /// Number of processing elements.
+    pub num_pes: usize,
+    /// On-chip cache capacity in bytes (holds rows of `B`).
+    pub cache_bytes: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Cache associativity (ways per set).
+    pub ways: usize,
+    /// Bytes per stored nonzero (value + packed column index).
+    pub elem_bytes: usize,
+    /// DRAM bandwidth in bytes per accelerator cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Clock frequency in Hz, used to convert cycles to seconds for the
+    /// end-to-end speedup study.
+    pub clock_hz: f64,
+}
+
+impl AcceleratorConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), AccelError> {
+        if self.num_pes == 0 {
+            return Err(AccelError::InvalidConfig("num_pes must be > 0".into()));
+        }
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(AccelError::InvalidConfig(
+                "line_bytes must be a positive power of two".into(),
+            ));
+        }
+        if self.ways == 0 {
+            return Err(AccelError::InvalidConfig("ways must be > 0".into()));
+        }
+        if self.cache_bytes < self.line_bytes * self.ways {
+            return Err(AccelError::InvalidConfig(
+                "cache must hold at least one full set".into(),
+            ));
+        }
+        if self.elem_bytes == 0 {
+            return Err(AccelError::InvalidConfig("elem_bytes must be > 0".into()));
+        }
+        let bw_valid = self.dram_bytes_per_cycle > 0.0;
+        if !bw_valid {
+            return Err(AccelError::InvalidConfig(
+                "dram_bytes_per_cycle must be positive".into(),
+            ));
+        }
+        let clock_valid = self.clock_hz > 0.0;
+        if !clock_valid {
+            return Err(AccelError::InvalidConfig("clock_hz must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Number of cache sets implied by the size/line/ways parameters.
+    pub fn num_sets(&self) -> usize {
+        (self.cache_bytes / (self.line_bytes * self.ways)).max(1)
+    }
+}
+
+fn base(name: &str, num_pes: usize, cache_bytes: usize) -> AcceleratorConfig {
+    AcceleratorConfig {
+        name: name.to_string(),
+        num_pes,
+        cache_bytes,
+        line_bytes: 64,
+        ways: 8,
+        // 8-byte value + 4-byte column index.
+        elem_bytes: 12,
+        // HBM-class bandwidth at a 1 GHz accelerator clock: 128 B/cycle.
+        dram_bytes_per_cycle: 128.0,
+        clock_hz: 1.0e9,
+    }
+}
+
+/// Flexagon: 1 MB cache, 67 PEs (paper §4).
+pub fn flexagon() -> AcceleratorConfig {
+    base("flexagon", 67, 1 << 20)
+}
+
+/// GAMMA: 3 MB cache, 64 PEs (paper §4).
+pub fn gamma() -> AcceleratorConfig {
+    base("gamma", 64, 3 << 20)
+}
+
+/// Trapezoid: 4 MB cache, 128 PEs (paper §4).
+pub fn trapezoid() -> AcceleratorConfig {
+    base("trapezoid", 128, 4 << 20)
+}
+
+/// All three paper accelerators, in presentation order.
+pub fn all() -> Vec<AcceleratorConfig> {
+    vec![flexagon(), gamma(), trapezoid()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let f = flexagon();
+        assert_eq!((f.num_pes, f.cache_bytes), (67, 1 << 20));
+        let g = gamma();
+        assert_eq!((g.num_pes, g.cache_bytes), (64, 3 << 20));
+        let t = trapezoid();
+        assert_eq!((t.num_pes, t.cache_bytes), (128, 4 << 20));
+        for c in all() {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = flexagon();
+        c.num_pes = 0;
+        assert!(c.validate().is_err());
+        let mut c = flexagon();
+        c.line_bytes = 48;
+        assert!(c.validate().is_err());
+        let mut c = flexagon();
+        c.cache_bytes = 64;
+        assert!(c.validate().is_err());
+        let mut c = flexagon();
+        c.dram_bytes_per_cycle = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn set_count_is_consistent() {
+        let c = flexagon();
+        assert_eq!(c.num_sets(), (1 << 20) / (64 * 8));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = trapezoid();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: AcceleratorConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

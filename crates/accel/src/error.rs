@@ -1,0 +1,52 @@
+//! Error type for the accelerator simulator.
+
+use std::fmt;
+
+use bootes_sparse::SparseError;
+
+/// Error returned by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelError {
+    /// Operand shapes are incompatible with the requested product.
+    Sparse(SparseError),
+    /// The accelerator configuration is internally inconsistent (zero PEs,
+    /// cache smaller than one line, zero bandwidth, ...).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::Sparse(e) => write!(f, "sparse operand error: {e}"),
+            AccelError::InvalidConfig(msg) => write!(f, "invalid accelerator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AccelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AccelError::Sparse(e) => Some(e),
+            AccelError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<SparseError> for AccelError {
+    fn from(e: SparseError) -> Self {
+        AccelError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = AccelError::InvalidConfig("zero PEs".to_string());
+        assert!(e.to_string().contains("zero PEs"));
+        assert!(e.source().is_none());
+    }
+}

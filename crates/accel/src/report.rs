@@ -1,0 +1,131 @@
+//! Off-chip traffic and timing reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of simulating one SpGEMM on one accelerator.
+///
+/// Traffic is split per operand exactly as in the paper's Figure 4: reads of
+/// `A` (green), reads of `B` (red) and writes of `C` (blue), all in bytes of
+/// off-chip (DRAM) transfer. The *compulsory* fields hold the traffic an
+/// infinite cache would incur — reading each input once and writing the
+/// output once — which is the normalization baseline of Figure 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Accelerator the run was simulated on.
+    pub accelerator: String,
+    /// Off-chip bytes read for operand `A` (streamed once).
+    pub a_bytes: u64,
+    /// Off-chip bytes read for operand `B` (through the cache).
+    pub b_bytes: u64,
+    /// Off-chip bytes written for the output `C` (streamed once).
+    pub c_bytes: u64,
+    /// Compulsory bytes for `A` (its size in memory).
+    pub compulsory_a: u64,
+    /// Compulsory bytes for `B`.
+    pub compulsory_b: u64,
+    /// Compulsory bytes for `C`.
+    pub compulsory_c: u64,
+    /// Cache hits while fetching `B` lines.
+    pub cache_hits: u64,
+    /// Cache misses while fetching `B` lines.
+    pub cache_misses: u64,
+    /// Scalar multiply-accumulates performed.
+    pub macs: u64,
+    /// Simulated execution cycles (roofline of compute and DRAM time,
+    /// including load imbalance across PEs).
+    pub cycles: u64,
+    /// Cycles the DRAM interface was the bottleneck.
+    pub dram_cycles: u64,
+    /// Compute cycles of the busiest PE.
+    pub max_pe_cycles: u64,
+}
+
+impl TrafficReport {
+    /// Total off-chip traffic in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.a_bytes + self.b_bytes + self.c_bytes
+    }
+
+    /// Total compulsory traffic in bytes.
+    pub fn compulsory_bytes(&self) -> u64 {
+        self.compulsory_a + self.compulsory_b + self.compulsory_c
+    }
+
+    /// Total traffic normalized to compulsory traffic (Figure 4's y-axis).
+    /// Returns 0.0 when there is no compulsory traffic (empty operands).
+    pub fn normalized_traffic(&self) -> f64 {
+        let comp = self.compulsory_bytes();
+        if comp == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / comp as f64
+        }
+    }
+
+    /// Cache hit rate on `B` accesses (0.0 when `B` was never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Simulated execution time in seconds at the given clock.
+    pub fn seconds(&self, clock_hz: f64) -> f64 {
+        self.cycles as f64 / clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrafficReport {
+        TrafficReport {
+            accelerator: "test".into(),
+            a_bytes: 100,
+            b_bytes: 400,
+            c_bytes: 60,
+            compulsory_a: 100,
+            compulsory_b: 200,
+            compulsory_c: 60,
+            cache_hits: 30,
+            cache_misses: 10,
+            macs: 1000,
+            cycles: 5000,
+            dram_cycles: 4000,
+            max_pe_cycles: 3000,
+        }
+    }
+
+    #[test]
+    fn totals_and_normalization() {
+        let r = sample();
+        assert_eq!(r.total_bytes(), 560);
+        assert_eq!(r.compulsory_bytes(), 360);
+        assert!((r.normalized_traffic() - 560.0 / 360.0).abs() < 1e-12);
+        assert!((r.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((r.seconds(1e9) - 5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_compulsory_is_safe() {
+        let mut r = sample();
+        r.compulsory_a = 0;
+        r.compulsory_b = 0;
+        r.compulsory_c = 0;
+        assert_eq!(r.normalized_traffic(), 0.0);
+        r.cache_hits = 0;
+        r.cache_misses = 0;
+        assert_eq!(r.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<TrafficReport>(&json).unwrap(), r);
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the four reordering algorithms' preprocessing
+//! time across matrix size and density — the statistically solid backing of
+//! Figure 5 (top) and Table 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use bootes_core::{BootesConfig, SpectralReorderer};
+use bootes_reorder::{GammaReorderer, GraphReorderer, HierReorderer, Reorderer};
+use bootes_workloads::gen::{clustered_with_density, GenConfig};
+
+fn algos() -> Vec<Box<dyn Reorderer>> {
+    vec![
+        Box::new(SpectralReorderer::new(BootesConfig::default().with_k(16))),
+        Box::new(GammaReorderer::default()),
+        Box::new(GraphReorderer::default()),
+        Box::new(HierReorderer::default()),
+    ]
+}
+
+fn bench_size_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reorder_size_sweep");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for n in [512usize, 1024, 2048] {
+        let a = clustered_with_density(&GenConfig::new(n, n).seed(3), 16, 0.92, 16.0 / n as f64)
+            .expect("valid parameters");
+        for algo in algos() {
+            g.bench_with_input(BenchmarkId::new(algo.name(), n), &a, |b, a| {
+                b.iter(|| algo.reorder(black_box(a)).expect("reorder"))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_density_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reorder_density_sweep");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let n = 1024usize;
+    for deg in [8usize, 32, 64] {
+        let a =
+            clustered_with_density(&GenConfig::new(n, n).seed(4), 16, 0.92, deg as f64 / n as f64)
+                .expect("valid parameters");
+        for algo in algos() {
+            g.bench_with_input(BenchmarkId::new(algo.name(), deg), &a, |b, a| {
+                b.iter(|| algo.reorder(black_box(a)).expect("reorder"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_size_sweep, bench_density_sweep);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Developer probe: per-k spectral traffic on selected suite entries.
+//! Not part of the paper reproduction; used to sanity-check k selection.
+
+use bootes_bench::{b_operand, run_reordered, scaled_configs, suite_scale};
+use bootes_core::{BootesConfig, SpectralReorderer, CANDIDATE_KS};
+use bootes_reorder::{GammaReorderer, OriginalOrder};
+use bootes_workloads::suite::table3_suite;
+
+fn main() {
+    let scale = suite_scale();
+    let accels = scaled_configs(scale);
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    for entry in table3_suite() {
+        if !which.is_empty() && !which.iter().any(|w| w == entry.id) {
+            continue;
+        }
+        let a = entry.generate(scale).expect("suite");
+        let b = b_operand(&a);
+        for accel in &accels {
+            let (_, orig) = run_reordered(&a, &b, &OriginalOrder, accel);
+            let (_, gam) = run_reordered(&a, &b, &GammaReorderer::default(), accel);
+            print!(
+                "{} {:10} orig={:>10} gamma={:>10}",
+                entry.id,
+                accel.name,
+                orig.total_bytes(),
+                gam.total_bytes()
+            );
+            for &k in &CANDIDATE_KS {
+                let algo = SpectralReorderer::new(BootesConfig::default().with_k(k));
+                let (_, rep) = run_reordered(&a, &b, &algo, accel);
+                print!(" k{k}={}", rep.total_bytes());
+            }
+            println!();
+        }
+    }
+}

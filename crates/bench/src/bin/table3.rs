@@ -1,0 +1,70 @@
+//! Table 3 — The evaluation suite: the paper's 26 matrices with their
+//! dimensions and densities, next to the synthetic stand-ins actually
+//! generated at the current scale (measured shape, nnz and density).
+
+use bootes_bench::table::{save_json, Table};
+use bootes_bench::{results_dir, suite_scale};
+use bootes_sparse::stats;
+use bootes_workloads::suite::table3_suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SuiteRow {
+    id: String,
+    name: String,
+    paper_rows: usize,
+    paper_cols: usize,
+    paper_density: f64,
+    generated_rows: usize,
+    generated_cols: usize,
+    generated_nnz: usize,
+    generated_density: f64,
+    class: String,
+}
+
+fn main() {
+    let scale = suite_scale();
+    println!("Table 3 reproduction at scale {scale}\n");
+    let mut t = Table::new([
+        "id",
+        "matrix",
+        "paper size",
+        "paper density",
+        "generated size",
+        "generated nnz",
+        "generated density",
+        "generator class",
+    ]);
+    let mut rows = Vec::new();
+    for entry in table3_suite() {
+        let m = entry.generate(scale).expect("suite generation");
+        let d = stats::density(&m);
+        t.row([
+            entry.id.to_string(),
+            entry.name.to_string(),
+            format!("{}x{}", entry.paper_rows, entry.paper_cols),
+            format!("{:.2e}", entry.paper_density),
+            format!("{}x{}", m.nrows(), m.ncols()),
+            m.nnz().to_string(),
+            format!("{d:.2e}"),
+            format!("{:?}", entry.class),
+        ]);
+        rows.push(SuiteRow {
+            id: entry.id.to_string(),
+            name: entry.name.to_string(),
+            paper_rows: entry.paper_rows,
+            paper_cols: entry.paper_cols,
+            paper_density: entry.paper_density,
+            generated_rows: m.nrows(),
+            generated_cols: m.ncols(),
+            generated_nnz: m.nnz(),
+            generated_density: d,
+            class: format!("{:?}", entry.class),
+        });
+    }
+    t.print("evaluation suite");
+    println!("\nNote: generated densities exceed the paper's because scaling dimensions");
+    println!("down while preserving the average row degree raises density (documented");
+    println!("in DESIGN.md substitution 1; BOOTES_FULL=1 regenerates at paper scale).");
+    save_json(&results_dir(), "table3_suite.json", &rows);
+}

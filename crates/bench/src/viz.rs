@@ -1,0 +1,98 @@
+//! ASCII sparsity-pattern rendering (Figure 2).
+//!
+//! Downsamples a matrix pattern onto a character grid; density per cell maps
+//! to a ramp of glyphs. Good enough to *see* whether a reordering vertically
+//! aligned the column blocks, which is exactly what Figure 2 illustrates.
+
+use bootes_sparse::CsrMatrix;
+
+/// Characters from empty to dense.
+const RAMP: [char; 5] = [' ', '.', ':', 'o', '#'];
+
+/// Renders the sparsity pattern of `a` on a `height x width` character grid.
+///
+/// Each cell aggregates the nonzeros of its row/column bucket; the glyph
+/// encodes the cell's fill relative to the densest cell.
+pub fn render_pattern(a: &CsrMatrix, width: usize, height: usize) -> String {
+    let width = width.max(1);
+    let height = height.max(1);
+    let mut counts = vec![0u32; width * height];
+    if a.nrows() > 0 && a.ncols() > 0 {
+        for (r, c, _) in a.iter() {
+            let gr = r * height / a.nrows();
+            let gc = c * width / a.ncols();
+            counts[gr * width + gc] += 1;
+        }
+    }
+    let max = counts.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::with_capacity((width + 3) * (height + 2));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    for gr in 0..height {
+        out.push('|');
+        for gc in 0..width {
+            let v = counts[gr * width + gc];
+            let idx = if v == 0 {
+                0
+            } else {
+                ((v as f64 / max as f64) * (RAMP.len() - 1) as f64).ceil() as usize
+            };
+            out.push(RAMP[idx]);
+        }
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootes_sparse::CooMatrix;
+
+    #[test]
+    fn empty_matrix_renders_blank() {
+        let s = render_pattern(&CsrMatrix::zeros(10, 10), 8, 4);
+        assert!(s.lines().count() == 6);
+        assert!(!s.contains('#'));
+    }
+
+    #[test]
+    fn diagonal_appears_on_the_diagonal() {
+        let a = CsrMatrix::identity(64);
+        let s = render_pattern(&a, 8, 8);
+        let lines: Vec<&str> = s.lines().collect();
+        for (i, line) in lines[1..9].iter().enumerate() {
+            let ch = line.chars().nth(1 + i).unwrap();
+            assert_ne!(ch, ' ', "diagonal cell {i} empty");
+        }
+        // Top-right corner must be blank.
+        assert_eq!(lines[1].chars().nth(8).unwrap(), ' ');
+    }
+
+    #[test]
+    fn dense_block_is_darkest() {
+        let mut coo = CooMatrix::new(16, 16);
+        for r in 0..8 {
+            for c in 0..8 {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        coo.push(15, 15, 1.0).unwrap();
+        let s = render_pattern(&coo.to_csr(), 4, 4);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].chars().nth(1).unwrap(), '#');
+        // The single entry in the bottom-right is the lightest nonempty glyph.
+        assert_eq!(lines[4].chars().nth(4).unwrap(), '.');
+    }
+
+    #[test]
+    fn degenerate_grid_sizes() {
+        let a = CsrMatrix::identity(4);
+        let s = render_pattern(&a, 0, 0); // clamped to 1x1
+        assert!(s.contains('#') || s.contains('.') || s.contains(':') || s.contains('o'));
+    }
+}

@@ -1,0 +1,157 @@
+//! Structural feature extraction (paper §3.2).
+//!
+//! The decision tree consumes a compact "structural fingerprint" of the
+//! matrix: global sparsity, the variance of nonzeros per row and per column
+//! (uniformity vs. skewness), and row-intersection statistics (whether
+//! adjacent rows already share column coordinates, and how consistently).
+//! Log-scaled dimensions are included because the paper observes that
+//! matrices with identical patterns but different sizes prefer different
+//! cluster counts (Maragal_6 vs Maragal_7 in §5.1).
+
+use bootes_sparse::{stats, CsrMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Names of the extracted features, aligned with [`MatrixFeatures::to_vec`].
+pub const FEATURE_NAMES: [&str; 7] = [
+    "log_rows",
+    "log_cols",
+    "global_sparsity",
+    "row_nnz_variance",
+    "col_nnz_variance",
+    "intersection_avg",
+    "intersection_var",
+];
+
+/// The feature vector of one matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatrixFeatures {
+    /// `ln(1 + nrows)`.
+    pub log_rows: f64,
+    /// `ln(1 + ncols)`.
+    pub log_cols: f64,
+    /// `nnz / (nrows · ncols)`.
+    pub global_sparsity: f64,
+    /// Population variance of per-row nonzero counts, normalized by the mean
+    /// (index of dispersion) so it is size-comparable.
+    pub row_nnz_variance: f64,
+    /// Index of dispersion of per-column nonzero counts.
+    pub col_nnz_variance: f64,
+    /// Mean shared-column count between adjacent rows, normalized by the
+    /// mean row degree (values near 1 mean neighbors already overlap).
+    pub intersection_avg: f64,
+    /// Variance of the adjacent-row intersection counts, normalized by the
+    /// mean row degree.
+    pub intersection_var: f64,
+}
+
+impl MatrixFeatures {
+    /// Extracts the feature vector from a matrix.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bootes_core::MatrixFeatures;
+    /// use bootes_sparse::CsrMatrix;
+    ///
+    /// let f = MatrixFeatures::extract(&CsrMatrix::identity(100));
+    /// assert!((f.global_sparsity - 0.01).abs() < 1e-12);
+    /// assert_eq!(f.row_nnz_variance, 0.0);
+    /// ```
+    pub fn extract(a: &CsrMatrix) -> Self {
+        let rows = stats::row_nnz_counts(a);
+        let cols = stats::col_nnz_counts(a);
+        let row_mean = stats::mean(&rows).max(1e-12);
+        let col_mean = stats::mean(&cols).max(1e-12);
+        let (i_avg, i_var) = stats::adjacent_intersection_stats(a);
+        MatrixFeatures {
+            log_rows: (1.0 + a.nrows() as f64).ln(),
+            log_cols: (1.0 + a.ncols() as f64).ln(),
+            global_sparsity: stats::density(a),
+            row_nnz_variance: stats::variance(&rows) / row_mean,
+            col_nnz_variance: stats::variance(&cols) / col_mean,
+            intersection_avg: i_avg / row_mean,
+            intersection_var: i_var / row_mean,
+        }
+    }
+
+    /// The features as a vector ordered like [`FEATURE_NAMES`].
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.log_rows,
+            self.log_cols,
+            self.global_sparsity,
+            self.row_nnz_variance,
+            self.col_nnz_variance,
+            self.intersection_avg,
+            self.intersection_var,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootes_sparse::CooMatrix;
+
+    #[test]
+    fn identity_features() {
+        let f = MatrixFeatures::extract(&CsrMatrix::identity(64));
+        assert_eq!(f.row_nnz_variance, 0.0);
+        assert_eq!(f.col_nnz_variance, 0.0);
+        assert_eq!(f.intersection_avg, 0.0);
+        assert_eq!(f.to_vec().len(), FEATURE_NAMES.len());
+    }
+
+    #[test]
+    fn banded_rows_intersect() {
+        // Dense band of width 3: adjacent rows share 2 columns.
+        let n = 50;
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            for d in 0..3usize {
+                let c = (r + d).min(n - 1);
+                coo.push(r, c, 1.0).ok();
+            }
+        }
+        let a = coo.to_csr();
+        let f = MatrixFeatures::extract(&a);
+        assert!(f.intersection_avg > 0.5, "intersection {}", f.intersection_avg);
+    }
+
+    #[test]
+    fn skewed_columns_raise_col_variance() {
+        // All rows hit column 0, plus their own column.
+        let n = 40;
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            coo.push(r, 0, 1.0).unwrap();
+            if r > 0 {
+                coo.push(r, r, 1.0).unwrap();
+            }
+        }
+        let skewed = MatrixFeatures::extract(&coo.to_csr());
+        let flat = MatrixFeatures::extract(&CsrMatrix::identity(n));
+        assert!(skewed.col_nnz_variance > flat.col_nnz_variance + 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zeros_except_dims() {
+        let f = MatrixFeatures::extract(&CsrMatrix::zeros(10, 20));
+        assert_eq!(f.global_sparsity, 0.0);
+        assert_eq!(f.row_nnz_variance, 0.0);
+        assert!(f.log_rows > 0.0);
+        assert!(f.log_cols > f.log_rows);
+    }
+
+    #[test]
+    fn features_are_finite_for_odd_shapes() {
+        for m in [
+            CsrMatrix::zeros(0, 0),
+            CsrMatrix::zeros(1, 1),
+            CsrMatrix::identity(1),
+        ] {
+            let f = MatrixFeatures::extract(&m);
+            assert!(f.to_vec().iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The cost-aware preprocessing pipeline (paper §3.2 "Bootes Workflow").
+//!
+//! Before SpGEMM execution, Bootes extracts structural features, feeds them
+//! to the trained decision tree, and either reorders with the predicted
+//! cluster count or leaves the matrix untouched. The tree is trained offline
+//! (see the `fig3` benchmark binary) on labels measured on the target
+//! accelerator.
+
+use std::time::Instant;
+
+use bootes_model::{DecisionTree, ModelError};
+use bootes_reorder::{ReorderError, ReorderStats, Reorderer};
+use bootes_sparse::{CsrMatrix, Permutation};
+use serde::{Deserialize, Serialize};
+
+use crate::config::BootesConfig;
+use crate::features::MatrixFeatures;
+use crate::spectral::SpectralReorderer;
+
+/// The candidate cluster counts of the paper (§3.1.2).
+pub const CANDIDATE_KS: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Classification label: skip reordering, or reorder with a given `k`.
+///
+/// Encoded as class indices `0 ..= 5` for the decision tree: class 0 is
+/// `NoReorder`, classes 1–5 map to `k ∈ {2, 4, 8, 16, 32}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// Reordering is not expected to pay off.
+    NoReorder,
+    /// Reorder with the given cluster count.
+    Reorder(usize),
+}
+
+impl Label {
+    /// Total number of classes.
+    pub const N_CLASSES: usize = 1 + CANDIDATE_KS.len();
+
+    /// Class index used by the decision tree.
+    pub fn to_class(self) -> usize {
+        match self {
+            Label::NoReorder => 0,
+            Label::Reorder(k) => {
+                1 + CANDIDATE_KS
+                    .iter()
+                    .position(|&c| c == k)
+                    .expect("k must be one of the candidate values")
+            }
+        }
+    }
+
+    /// Inverse of [`Label::to_class`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= Label::N_CLASSES`.
+    pub fn from_class(class: usize) -> Self {
+        if class == 0 {
+            Label::NoReorder
+        } else {
+            Label::Reorder(CANDIDATE_KS[class - 1])
+        }
+    }
+}
+
+/// The pipeline's verdict for one matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decision {
+    /// The predicted label.
+    pub label: Label,
+}
+
+impl Decision {
+    /// Whether reordering was advised.
+    pub fn should_reorder(&self) -> bool {
+        matches!(self.label, Label::Reorder(_))
+    }
+
+    /// The advised cluster count, if any.
+    pub fn k(&self) -> Option<usize> {
+        match self.label {
+            Label::NoReorder => None,
+            Label::Reorder(k) => Some(k),
+        }
+    }
+}
+
+/// Error of the full pipeline: model inference or reordering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Decision-tree inference failed.
+    Model(ModelError),
+    /// Spectral reordering failed.
+    Reorder(ReorderError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Model(e) => write!(f, "model inference failed: {e}"),
+            PipelineError::Reorder(e) => write!(f, "reordering failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ModelError> for PipelineError {
+    fn from(e: ModelError) -> Self {
+        PipelineError::Model(e)
+    }
+}
+
+impl From<ReorderError> for PipelineError {
+    fn from(e: ReorderError) -> Self {
+        PipelineError::Reorder(e)
+    }
+}
+
+/// Outcome of the cost-aware preprocessing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOutcome {
+    /// The decision the model took.
+    pub decision: Decision,
+    /// The permutation to apply (identity when reordering was skipped).
+    pub permutation: Permutation,
+    /// Preprocessing stats (includes feature extraction and inference time).
+    pub stats: ReorderStats,
+}
+
+/// The complete Bootes preprocessing pipeline: features → decision tree →
+/// (optional) spectral reordering.
+#[derive(Debug, Clone)]
+pub struct BootesPipeline {
+    model: DecisionTree,
+    config: BootesConfig,
+}
+
+impl BootesPipeline {
+    /// Creates a pipeline around a trained decision tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::FeatureMismatch`] if the tree was not trained on
+    /// the [`crate::FEATURE_NAMES`] feature set, or
+    /// [`ModelError::InvalidConfig`] if its class count is not
+    /// [`Label::N_CLASSES`].
+    pub fn new(model: DecisionTree, config: BootesConfig) -> Result<Self, ModelError> {
+        if model.n_features() != crate::FEATURE_NAMES.len() {
+            return Err(ModelError::FeatureMismatch {
+                expected: crate::FEATURE_NAMES.len(),
+                got: model.n_features(),
+            });
+        }
+        if model.n_classes() != Label::N_CLASSES {
+            return Err(ModelError::InvalidConfig(format!(
+                "model has {} classes, pipeline needs {}",
+                model.n_classes(),
+                Label::N_CLASSES
+            )));
+        }
+        Ok(BootesPipeline { model, config })
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &DecisionTree {
+        &self.model
+    }
+
+    /// Predicts whether and how to reorder `a` without performing the work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on inference failure.
+    pub fn decide(&self, a: &CsrMatrix) -> Result<Decision, ModelError> {
+        let features = MatrixFeatures::extract(a).to_vec();
+        let class = self.model.predict(&features)?;
+        Ok(Decision {
+            label: Label::from_class(class),
+        })
+    }
+
+    /// Runs the full preprocessing: decide, then reorder if advised.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if inference or reordering fails.
+    pub fn preprocess(&self, a: &CsrMatrix) -> Result<PipelineOutcome, PipelineError> {
+        let start = Instant::now();
+        let decision = self.decide(a)?;
+        match decision.label {
+            Label::NoReorder => Ok(PipelineOutcome {
+                decision,
+                permutation: Permutation::identity(a.nrows()),
+                stats: ReorderStats::new("bootes-pipeline", start.elapsed(), 0),
+            }),
+            Label::Reorder(k) => {
+                let reorderer = SpectralReorderer::new(self.config.clone().with_k(k));
+                let out = reorderer.reorder(a)?;
+                Ok(PipelineOutcome {
+                    decision,
+                    permutation: out.permutation,
+                    stats: ReorderStats::new(
+                        "bootes-pipeline",
+                        start.elapsed(),
+                        out.stats.peak_bytes,
+                    ),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FEATURE_NAMES;
+    use bootes_model::{Dataset, TreeConfig};
+
+    /// A tree that predicts class = 0 (NoReorder) when global_sparsity > 0.5
+    /// and class 2 (k=4) otherwise.
+    fn toy_model() -> DecisionTree {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let dense = i % 2 == 0;
+            let mut f = vec![3.0; FEATURE_NAMES.len()];
+            f[2] = if dense { 0.9 } else { 0.001 };
+            x.push(f);
+            y.push(if dense { 0 } else { 2 });
+        }
+        let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+        let ds = Dataset::new(x, y, names, Label::N_CLASSES).unwrap();
+        DecisionTree::fit(&ds, &TreeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn label_class_roundtrip() {
+        for class in 0..Label::N_CLASSES {
+            assert_eq!(Label::from_class(class).to_class(), class);
+        }
+        assert_eq!(Label::Reorder(8).to_class(), 3);
+        assert_eq!(Label::from_class(0), Label::NoReorder);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_class_out_of_range_panics() {
+        let _ = Label::from_class(Label::N_CLASSES);
+    }
+
+    #[test]
+    fn pipeline_skips_dense_matrices() {
+        let pipeline = BootesPipeline::new(toy_model(), BootesConfig::default()).unwrap();
+        // A dense-ish matrix (density > 0.5): model says NoReorder.
+        let mut coo = bootes_sparse::CooMatrix::new(16, 16);
+        for r in 0..16 {
+            for c in 0..14 {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let out = pipeline.preprocess(&a).unwrap();
+        assert!(!out.decision.should_reorder());
+        assert!(out.permutation.is_identity());
+    }
+
+    #[test]
+    fn pipeline_reorders_sparse_matrices() {
+        let pipeline = BootesPipeline::new(toy_model(), BootesConfig::default()).unwrap();
+        let a = bootes_workloads::gen::clustered(
+            &bootes_workloads::gen::GenConfig::new(128, 128).seed(1),
+            4,
+            0.95,
+        )
+        .unwrap();
+        let out = pipeline.preprocess(&a).unwrap();
+        assert!(out.decision.should_reorder());
+        assert_eq!(out.decision.k(), Some(4));
+        assert_eq!(out.permutation.len(), 128);
+    }
+
+    #[test]
+    fn rejects_mismatched_models() {
+        let ds = Dataset::new(
+            vec![vec![0.0], vec![1.0]],
+            vec![0, 1],
+            vec!["only".into()],
+            2,
+        )
+        .unwrap();
+        let wrong = DecisionTree::fit(&ds, &TreeConfig::default()).unwrap();
+        assert!(BootesPipeline::new(wrong, BootesConfig::default()).is_err());
+    }
+
+    #[test]
+    fn decide_matches_preprocess() {
+        let pipeline = BootesPipeline::new(toy_model(), BootesConfig::default()).unwrap();
+        let a = CsrMatrix::identity(64);
+        let d = pipeline.decide(&a).unwrap();
+        let out = pipeline.preprocess(&a).unwrap();
+        assert_eq!(d, out.decision);
+    }
+}

@@ -1,0 +1,397 @@
+//! The spectral-clustering row reorderer (Algorithm 4 of the paper).
+
+use std::time::Instant;
+
+use bootes_linalg::kmeans::{kmeans, KMeansConfig};
+use bootes_linalg::lanczos::{lanczos_smallest, Eigenpairs, LanczosConfig};
+use bootes_linalg::laplacian::{normalized_laplacian, ImplicitNormalizedLaplacian};
+use bootes_reorder::{MemTracker, ReorderError, ReorderOutcome, ReorderStats, Reorderer};
+use bootes_sparse::ops::similarity_matrix;
+use bootes_sparse::{CsrMatrix, DenseMatrix, Permutation};
+
+use crate::config::BootesConfig;
+
+/// Bootes' spectral-clustering row reordering.
+///
+/// Implements Algorithm 4: binary similarity matrix → normalized Laplacian →
+/// `k` smallest eigenvectors (thick-restart Lanczos) → k-means on the
+/// spectral embedding → permutation grouping same-cluster rows. All sparse
+/// intermediates stay in CSR and the similarity matrix is released as soon as
+/// the Laplacian exists (§3.1.2 and §5.3 memory-footprint optimizations).
+///
+/// # Example
+///
+/// ```
+/// use bootes_core::{BootesConfig, SpectralReorderer};
+/// use bootes_reorder::Reorderer;
+/// use bootes_sparse::CsrMatrix;
+///
+/// # fn main() -> Result<(), bootes_reorder::ReorderError> {
+/// let out = SpectralReorderer::new(BootesConfig::default().with_k(2))
+///     .reorder(&CsrMatrix::identity(32))?;
+/// assert_eq!(out.permutation.len(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpectralReorderer {
+    config: BootesConfig,
+}
+
+impl SpectralReorderer {
+    /// Creates a reorderer with the given configuration.
+    pub fn new(config: BootesConfig) -> Self {
+        SpectralReorderer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BootesConfig {
+        &self.config
+    }
+
+    /// Computes cluster labels for the rows of `a` (the clustering stage of
+    /// the reordering, exposed for inspection and for the label-generation
+    /// harness that trains the decision tree).
+    ///
+    /// Returns `(labels, embedding)` where `labels[i] ∈ 0..k` and
+    /// `embedding` is the `n x k` spectral embedding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReorderError::Numerical`] if the eigensolver or k-means
+    /// fails, and [`ReorderError::InvalidConfig`] if `k < 2`.
+    pub fn cluster(&self, a: &CsrMatrix) -> Result<(Vec<usize>, DenseMatrix), ReorderError> {
+        self.cluster_tracked(a, &mut MemTracker::new())
+    }
+
+    fn cluster_tracked(
+        &self,
+        a: &CsrMatrix,
+        mem: &mut MemTracker,
+    ) -> Result<(Vec<usize>, DenseMatrix), ReorderError> {
+        let n = a.nrows();
+        let k = self.config.k;
+        if k < 2 {
+            return Err(ReorderError::InvalidConfig(format!(
+                "k = {k} must be at least 2"
+            )));
+        }
+        // Effective cluster count for tiny matrices.
+        let k = k.min(n.max(1));
+        if n <= k {
+            // Each row its own cluster.
+            return Ok(((0..n).collect(), DenseMatrix::zeros(n, 1)));
+        }
+
+        // Lines 11-15: smallest eigenvectors of the normalized Laplacian of
+        // the row-similarity graph. The first k eigenvectors carry the
+        // k-cluster structure; extra vectors (extra_embed, design D1b)
+        // expose finer intra-cluster structure used by the within-cluster
+        // ordering.
+        let k_embed =
+            (k + self.config.extra_embed.min(k)).clamp(k, n.saturating_sub(1).max(k));
+        let lcfg = LanczosConfig {
+            tol: self.config.eig_tol,
+            max_restarts: self.config.max_restarts,
+            seed: self.config.seed,
+            allow_unconverged: true,
+            // Convergence is gated on the k cluster eigenvectors only; the
+            // extra embedding dimensions are best-effort.
+            converge_k: k,
+            // A lean subspace: ordering needs approximate eigenvectors, not
+            // machine-precision ones, and the basis is the memory high-water
+            // mark of the whole preprocessing.
+            max_subspace: (k_embed + 16).min(n),
+        };
+        let eig: Eigenpairs = if self.config.materialize_similarity {
+            // Ablation D3: Algorithm 4 verbatim — materialize S, then L,
+            // freeing S as soon as L exists (paper §5.3).
+            let similarity = similarity_matrix(a);
+            mem.alloc(similarity.heap_bytes());
+            let laplacian = normalized_laplacian(&similarity)
+                .map_err(|e| ReorderError::Numerical(e.to_string()))?;
+            mem.alloc(laplacian.heap_bytes());
+            mem.free(similarity.heap_bytes());
+            drop(similarity);
+            let eig = lanczos_smallest(&laplacian, k_embed, &lcfg)
+                .map_err(|e| ReorderError::Numerical(e.to_string()))?;
+            mem.free(laplacian.heap_bytes());
+            eig
+        } else {
+            // Default: implicit Laplacian — two SpMVs with the binary
+            // pattern per application, no similarity matrix at all.
+            let op = ImplicitNormalizedLaplacian::new(a);
+            mem.alloc(op.heap_bytes());
+            let eig = lanczos_smallest(&op, k_embed, &lcfg)
+                .map_err(|e| ReorderError::Numerical(e.to_string()))?;
+            mem.free(op.heap_bytes());
+            eig
+        };
+        // Krylov basis high-water mark (dominant transient of the solve).
+        let m_basis = (k_embed + 16).min(n);
+        mem.alloc(n * m_basis * std::mem::size_of::<f64>());
+        mem.free(n * m_basis * std::mem::size_of::<f64>());
+        mem.alloc(n * k_embed * std::mem::size_of::<f64>());
+
+        // Assemble the n x k_embed spectral embedding.
+        let mut embedding = DenseMatrix::zeros(n, k_embed);
+        for (j, v) in eig.eigenvectors.iter().enumerate() {
+            for i in 0..n {
+                embedding[(i, j)] = v[i];
+            }
+        }
+
+        // Line 16-17: k-means on the embedding.
+        let kcfg = KMeansConfig {
+            max_iter: self.config.kmeans_max_iter,
+            n_init: self.config.kmeans_n_init,
+            seed: self.config.seed ^ 0x5EED,
+            ..KMeansConfig::default()
+        };
+        let km = kmeans(&embedding, k, &kcfg)
+            .map_err(|e| ReorderError::Numerical(e.to_string()))?;
+        Ok((km.labels, embedding))
+    }
+}
+
+impl Reorderer for SpectralReorderer {
+    fn name(&self) -> &'static str {
+        "bootes"
+    }
+
+    fn reorder(&self, a: &CsrMatrix) -> Result<ReorderOutcome, ReorderError> {
+        let start = Instant::now();
+        let n = a.nrows();
+        let mut mem = MemTracker::new();
+        if n <= 2 {
+            return Ok(ReorderOutcome {
+                permutation: Permutation::identity(n),
+                stats: ReorderStats::new(self.name(), start.elapsed(), 0),
+            });
+        }
+        let (labels, embedding) = self.cluster_tracked(a, &mut mem)?;
+        let k = labels.iter().copied().max().map_or(1, |m| m + 1);
+
+        // Permutation synthesis. Baseline: group rows by cluster label.
+        // Design decision D1 (default): order clusters by their mean Fiedler
+        // coordinate, and rows *within* a cluster by a greedy
+        // nearest-neighbor chain in embedding space — rows with
+        // near-identical column supports have near-identical embeddings and
+        // become adjacent, so a cluster containing several distinct row
+        // patterns lays each pattern out contiguously.
+        let fiedler_col = if embedding.ncols() > 1 { 1 } else { 0 };
+        let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (row, &label) in labels.iter().enumerate() {
+            clusters[label].push(row);
+        }
+        if self.config.fiedler_refine {
+            for members in &mut clusters {
+                chain_by_embedding(members, &embedding, fiedler_col);
+            }
+            clusters.sort_by(|ca, cb| {
+                let ma = cluster_mean(ca, &embedding, fiedler_col);
+                let mb = cluster_mean(cb, &embedding, fiedler_col);
+                ma.partial_cmp(&mb)
+                    .expect("finite means")
+                    .then_with(|| ca.first().cmp(&cb.first()))
+            });
+        }
+        let mut p = Vec::with_capacity(n);
+        for members in &clusters {
+            p.extend_from_slice(members);
+        }
+        mem.alloc(n * std::mem::size_of::<usize>());
+
+        let permutation = Permutation::try_new(p)?;
+        Ok(ReorderOutcome {
+            permutation,
+            stats: ReorderStats::new(self.name(), start.elapsed(), mem.peak_bytes()),
+        })
+    }
+}
+
+/// Reorders `members` in place into a greedy nearest-neighbor chain in
+/// embedding space, starting from the member with the smallest Fiedler
+/// coordinate. `O(m² · d)` per cluster, which is negligible next to the
+/// eigensolve for the cluster sizes k-means produces.
+fn chain_by_embedding(members: &mut [usize], embedding: &DenseMatrix, fiedler_col: usize) {
+    let m = members.len();
+    if m < 3 {
+        return;
+    }
+    let d = embedding.ncols();
+    let dist2 = |a: usize, b: usize| -> f64 {
+        (0..d)
+            .map(|c| {
+                let delta = embedding[(a, c)] - embedding[(b, c)];
+                delta * delta
+            })
+            .sum()
+    };
+    // Start from the extreme Fiedler coordinate for a stable anchor.
+    let start = (0..m)
+        .min_by(|&x, &y| {
+            embedding[(members[x], fiedler_col)]
+                .partial_cmp(&embedding[(members[y], fiedler_col)])
+                .expect("finite embedding")
+                .then(members[x].cmp(&members[y]))
+        })
+        .expect("nonempty cluster");
+    members.swap(0, start);
+    for pos in 1..m - 1 {
+        let cur = members[pos - 1];
+        let mut best = pos;
+        let mut best_d = f64::INFINITY;
+        for (idx, &cand) in members.iter().enumerate().skip(pos) {
+            let dd = dist2(cur, cand);
+            if dd < best_d || (dd == best_d && cand < members[best]) {
+                best_d = dd;
+                best = idx;
+            }
+        }
+        members.swap(pos, best);
+    }
+}
+
+fn cluster_mean(members: &[usize], embedding: &DenseMatrix, col: usize) -> f64 {
+    if members.is_empty() {
+        return f64::INFINITY; // empty clusters sort last (then dropped)
+    }
+    members.iter().map(|&r| embedding[(r, col)]).sum::<f64>() / members.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootes_workloads::gen::{clustered, GenConfig};
+    use bootes_workloads::scramble_rows;
+    use bootes_sparse::CooMatrix;
+
+    /// Block matrix with `k` groups of identical rows, scrambled.
+    fn scrambled_blocks(n: usize, k: usize, span: usize, seed: u64) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, k * span);
+        for r in 0..n {
+            let g = r * k / n;
+            for c in 0..span {
+                coo.push(r, g * span + c, 1.0).unwrap();
+            }
+        }
+        scramble_rows(&coo.to_csr(), seed)
+    }
+
+    /// Fraction of adjacent pairs in the permuted order whose rows have
+    /// identical column supports.
+    fn adjacency_purity(a: &CsrMatrix, perm: &Permutation) -> f64 {
+        let b = perm.apply_rows(a).unwrap();
+        let n = b.nrows();
+        if n < 2 {
+            return 1.0;
+        }
+        let same = (0..n - 1)
+            .filter(|&i| b.row(i).0 == b.row(i + 1).0)
+            .count();
+        same as f64 / (n - 1) as f64
+    }
+
+    #[test]
+    fn recovers_scrambled_blocks() {
+        let a = scrambled_blocks(120, 4, 8, 99);
+        let out = SpectralReorderer::new(BootesConfig::default().with_k(4))
+            .reorder(&a)
+            .unwrap();
+        let purity = adjacency_purity(&a, &out.permutation);
+        // 4 groups of 30 identical rows: optimal purity = 116/119 ≈ 0.975.
+        assert!(purity > 0.9, "purity {purity}");
+    }
+
+    #[test]
+    fn identity_on_tiny_matrices() {
+        for n in 0..3 {
+            let out = SpectralReorderer::default()
+                .reorder(&CsrMatrix::zeros(n, 4))
+                .unwrap();
+            assert!(out.permutation.is_identity());
+        }
+    }
+
+    #[test]
+    fn rejects_k_below_two() {
+        let a = scrambled_blocks(32, 2, 4, 1);
+        let r = SpectralReorderer::new(BootesConfig::default().with_k(1));
+        assert!(matches!(
+            r.reorder(&a),
+            Err(ReorderError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn handles_disconnected_and_empty_rows() {
+        // Matrix with empty rows and two disconnected components.
+        let mut coo = CooMatrix::new(40, 40);
+        for r in 0..15 {
+            coo.push(r, 0, 1.0).unwrap();
+            coo.push(r, 1, 1.0).unwrap();
+        }
+        for r in 20..35 {
+            coo.push(r, 30, 1.0).unwrap();
+            coo.push(r, 31, 1.0).unwrap();
+        }
+        // rows 15..20 and 35..40 stay empty
+        let a = scramble_rows(&coo.to_csr(), 5);
+        let out = SpectralReorderer::new(BootesConfig::default().with_k(2))
+            .reorder(&a)
+            .unwrap();
+        assert_eq!(out.permutation.len(), 40);
+    }
+
+    #[test]
+    fn cluster_labels_align_with_hidden_groups() {
+        let a = scrambled_blocks(90, 3, 6, 2);
+        let (labels, _) = SpectralReorderer::new(BootesConfig::default().with_k(3))
+            .cluster(&a)
+            .unwrap();
+        // Rows with the same column support must get the same label.
+        for i in 0..a.nrows() {
+            for j in (i + 1)..a.nrows() {
+                if a.row(i).0 == a.row(j).0 {
+                    assert_eq!(labels[i], labels[j], "rows {i} and {j} split");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fiedler_refinement_changes_order_not_validity() {
+        let a = clustered(&GenConfig::new(200, 200).seed(8), 4, 0.9).unwrap();
+        let refined = SpectralReorderer::new(BootesConfig::default().with_k(4))
+            .reorder(&a)
+            .unwrap();
+        let plain = SpectralReorderer::new(BootesConfig {
+            fiedler_refine: false,
+            ..BootesConfig::default().with_k(4)
+        })
+        .reorder(&a)
+        .unwrap();
+        assert_eq!(refined.permutation.len(), plain.permutation.len());
+    }
+
+    #[test]
+    fn memory_accounting_tracks_similarity_release() {
+        let a = scrambled_blocks(150, 5, 6, 3);
+        let out = SpectralReorderer::new(BootesConfig::default().with_k(5))
+            .reorder(&a)
+            .unwrap();
+        assert!(out.stats.peak_bytes > 0);
+        assert_eq!(out.stats.algorithm, "bootes");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = scrambled_blocks(80, 4, 4, 7);
+        let r = SpectralReorderer::new(BootesConfig::default().with_k(4));
+        assert_eq!(
+            r.reorder(&a).unwrap().permutation,
+            r.reorder(&a).unwrap().permutation
+        );
+    }
+}

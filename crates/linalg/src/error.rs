@@ -1,0 +1,59 @@
+//! Error type for numerical routines.
+
+use std::fmt;
+
+/// Error returned by the eigensolvers and clustering routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// An operator or argument had an incompatible dimension.
+    Dimension(String),
+    /// An iterative method exhausted its iteration budget without converging.
+    NoConvergence {
+        /// Which routine failed to converge.
+        routine: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was outside its valid range (e.g. `k = 0` clusters).
+    InvalidArgument(String),
+    /// A non-finite value (NaN/inf) appeared during iteration, typically from
+    /// a malformed input matrix.
+    NumericalBreakdown(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Dimension(msg) => write!(f, "dimension error: {msg}"),
+            LinalgError::NoConvergence {
+                routine,
+                iterations,
+            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            LinalgError::NumericalBreakdown(msg) => write!(f, "numerical breakdown: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::NoConvergence {
+            routine: "lanczos",
+            iterations: 42,
+        };
+        assert!(e.to_string().contains("lanczos"));
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

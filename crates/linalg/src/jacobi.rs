@@ -1,0 +1,229 @@
+//! Cyclic Jacobi eigensolver for small dense symmetric matrices.
+//!
+//! Used for the projected matrices inside the thick-restart Lanczos solver
+//! (dimension ≲ 100), where robustness matters far more than asymptotics.
+
+use bootes_sparse::DenseMatrix;
+
+use crate::error::LinalgError;
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix by the
+/// cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted ascending and
+/// `eigenvectors` holding the matching orthonormal eigenvectors as *columns*.
+///
+/// # Errors
+///
+/// - [`LinalgError::Dimension`] if `a` is not square.
+/// - [`LinalgError::InvalidArgument`] if `a` is not (numerically) symmetric.
+/// - [`LinalgError::NoConvergence`] if the off-diagonal mass fails to vanish
+///   within the sweep budget (does not occur for finite symmetric input).
+///
+/// # Example
+///
+/// ```
+/// use bootes_linalg::jacobi::jacobi_eigen;
+/// use bootes_sparse::DenseMatrix;
+///
+/// # fn main() -> Result<(), bootes_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+/// let (vals, _vecs) = jacobi_eigen(&a)?;
+/// assert!((vals[0] - 1.0).abs() < 1e-12);
+/// assert!((vals[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn jacobi_eigen(a: &DenseMatrix) -> Result<(Vec<f64>, DenseMatrix), LinalgError> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(LinalgError::Dimension(format!(
+            "jacobi needs a square matrix, got {}x{}",
+            a.nrows(),
+            a.ncols()
+        )));
+    }
+    let scale = a
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (a[(i, j)] - a[(j, i)]).abs() > 1e-9 * scale {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "matrix not symmetric at ({i}, {j})"
+                )));
+            }
+            if !a[(i, j)].is_finite() {
+                return Err(LinalgError::NumericalBreakdown(format!(
+                    "non-finite entry at ({i}, {j})"
+                )));
+            }
+        }
+    }
+
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    let max_sweeps = 64;
+    for sweep in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-14 * scale * n as f64 {
+            return Ok(sorted_pairs(m, v));
+        }
+        let _ = sweep;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Rotation angle from the standard Jacobi formulas.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate the eigenvector rotation.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        routine: "jacobi",
+        iterations: max_sweeps,
+    })
+}
+
+fn sorted_pairs(m: DenseMatrix, v: DenseMatrix) -> (Vec<f64>, DenseMatrix) {
+    let n = m.nrows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("finite eigenvalues"));
+    let vals: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut vecs = DenseMatrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vecs[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    (vals, vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &DenseMatrix, vals: &[f64], vecs: &DenseMatrix) -> f64 {
+        // max_i || A v_i - lambda_i v_i ||
+        let n = a.nrows();
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let mut r = vec![0.0; n];
+            for row in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a[(row, k)] * vecs[(k, i)];
+                }
+                r[row] = acc - vals[i] * vecs[(row, i)];
+            }
+            worst = worst.max(crate::vecops::norm2(&r));
+        }
+        worst
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = DenseMatrix::from_rows(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let (vals, vecs) = jacobi_eigen(&a).unwrap();
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+        assert!((vals[2] - 3.0).abs() < 1e-12);
+        assert!(residual(&a, &vals, &vecs) < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = DenseMatrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let (vals, vecs) = jacobi_eigen(&a).unwrap();
+        assert!((vals[0] + 1.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+        assert!(residual(&a, &vals, &vecs) < 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric_has_small_residual_and_orthonormal_vectors() {
+        let n = 12;
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in 0..n {
+            for j in i..n {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let (vals, vecs) = jacobi_eigen(&a).unwrap();
+        assert!(residual(&a, &vals, &vecs) < 1e-9);
+        // ascending order
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // orthonormal columns
+        for i in 0..n {
+            for j in 0..n {
+                let mut d = 0.0;
+                for k in 0..n {
+                    d += vecs[(k, i)] * vecs[(k, j)];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-10, "gram ({i}, {j}) = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_nonsquare_and_asymmetric() {
+        assert!(jacobi_eigen(&DenseMatrix::zeros(2, 3)).is_err());
+        let a = DenseMatrix::from_rows(2, 2, vec![0.0, 1.0, 2.0, 0.0]);
+        assert!(jacobi_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = DenseMatrix::zeros(0, 0);
+        let (vals, _) = jacobi_eigen(&a).unwrap();
+        assert!(vals.is_empty());
+    }
+}

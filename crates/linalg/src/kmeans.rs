@@ -1,0 +1,336 @@
+//! K-means clustering with k-means++ seeding.
+//!
+//! Implements the `sklearn.cluster.KMeans` call of Algorithm 4 line 16:
+//! Lloyd iterations over the spectral embedding, seeded by the k-means++
+//! distribution, with deterministic behaviour under a fixed seed and
+//! empty-cluster repair by reassigning the farthest point.
+
+use bootes_sparse::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::LinalgError;
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the total squared centroid movement.
+    pub tol: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+    /// Number of k-means++ restarts; the lowest-inertia run wins.
+    pub n_init: usize,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            max_iter: 100,
+            tol: 1e-10,
+            seed: 0x5EED,
+            n_init: 4,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster label per point, in `0..k`.
+    pub labels: Vec<usize>,
+    /// Cluster centroids as a `k x d` matrix.
+    pub centroids: DenseMatrix,
+    /// Sum of squared distances of points to their assigned centroid.
+    pub inertia: f64,
+    /// Lloyd iterations performed by the winning restart.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Clusters the rows of `points` (an `n x d` matrix) into `k` groups.
+///
+/// # Errors
+///
+/// - [`LinalgError::InvalidArgument`] if `k == 0`, `k > n`, or `d == 0`.
+/// - [`LinalgError::NumericalBreakdown`] if a point contains non-finite
+///   coordinates.
+///
+/// # Example
+///
+/// ```
+/// use bootes_linalg::{kmeans, KMeansConfig};
+/// use bootes_sparse::DenseMatrix;
+///
+/// # fn main() -> Result<(), bootes_linalg::LinalgError> {
+/// let pts = DenseMatrix::from_rows(4, 1, vec![0.0, 0.1, 10.0, 10.1]);
+/// let r = kmeans(&pts, 2, &KMeansConfig::default())?;
+/// assert_eq!(r.labels[0], r.labels[1]);
+/// assert_eq!(r.labels[2], r.labels[3]);
+/// assert_ne!(r.labels[0], r.labels[2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn kmeans(
+    points: &DenseMatrix,
+    k: usize,
+    cfg: &KMeansConfig,
+) -> Result<KMeansResult, LinalgError> {
+    let n = points.nrows();
+    let d = points.ncols();
+    if k == 0 {
+        return Err(LinalgError::InvalidArgument("k must be >= 1".to_string()));
+    }
+    if k > n {
+        return Err(LinalgError::InvalidArgument(format!(
+            "k = {k} exceeds number of points {n}"
+        )));
+    }
+    if d == 0 {
+        return Err(LinalgError::InvalidArgument(
+            "points must have at least one dimension".to_string(),
+        ));
+    }
+    if !points.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(LinalgError::NumericalBreakdown(
+            "non-finite point coordinate".to_string(),
+        ));
+    }
+
+    let mut best: Option<KMeansResult> = None;
+    for init in 0..cfg.n_init.max(1) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(init as u64));
+        let run = lloyd(points, k, cfg, &mut rng);
+        if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
+            best = Some(run);
+        }
+    }
+    Ok(best.expect("at least one init"))
+}
+
+fn plus_plus_init(points: &DenseMatrix, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let n = points.nrows();
+    let mut centers = Vec::with_capacity(k);
+    centers.push(rng.random_range(0..n));
+    let mut dists: Vec<f64> = (0..n)
+        .map(|i| sq_dist(points.row(i), points.row(centers[0])))
+        .collect();
+    while centers.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a center; pick any
+            // non-center index to keep centers distinct where possible.
+            (0..n).find(|i| !centers.contains(i)).unwrap_or(0)
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &dist) in dists.iter().enumerate() {
+                target -= dist;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centers.push(next);
+        for (i, dist) in dists.iter_mut().enumerate() {
+            let nd = sq_dist(points.row(i), points.row(next));
+            if nd < *dist {
+                *dist = nd;
+            }
+        }
+    }
+    centers
+}
+
+fn lloyd(points: &DenseMatrix, k: usize, cfg: &KMeansConfig, rng: &mut StdRng) -> KMeansResult {
+    let n = points.nrows();
+    let d = points.ncols();
+    let seeds = plus_plus_init(points, k, rng);
+    let mut centroids = DenseMatrix::zeros(k, d);
+    for (c, &idx) in seeds.iter().enumerate() {
+        centroids.row_mut(c).copy_from_slice(points.row(idx));
+    }
+
+    let mut labels = vec![0usize; n];
+    let mut iterations = 0;
+    for iter in 0..cfg.max_iter {
+        iterations = iter + 1;
+        // Assignment step.
+        for (i, label) in labels.iter_mut().enumerate() {
+            let p = points.row(i);
+            let mut best_c = 0;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dist = sq_dist(p, centroids.row(c));
+                if dist < best_d {
+                    best_d = dist;
+                    best_c = c;
+                }
+            }
+            *label = best_c;
+        }
+        // Update step.
+        let mut sums = DenseMatrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[labels[i]] += 1;
+            let row = sums.row_mut(labels[i]);
+            for (s, &v) in row.iter_mut().zip(points.row(i)) {
+                *s += v;
+            }
+        }
+        // Empty-cluster repair: steal the point farthest from its centroid.
+        for c in 0..k {
+            if counts[c] == 0 {
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_dist(points.row(a), centroids.row(labels[a]));
+                        let db = sq_dist(points.row(b), centroids.row(labels[b]));
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .expect("n >= k >= 1");
+                let old = labels[far];
+                if counts[old] > 1 {
+                    counts[old] -= 1;
+                    for (s, &v) in sums.row_mut(old).iter_mut().zip(points.row(far)) {
+                        *s -= v;
+                    }
+                    labels[far] = c;
+                    counts[c] = 1;
+                    sums.row_mut(c).copy_from_slice(points.row(far));
+                }
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            let mut moved = 0.0;
+            for j in 0..d {
+                let newv = sums[(c, j)] * inv;
+                let delta = newv - centroids[(c, j)];
+                moved += delta * delta;
+                centroids[(c, j)] = newv;
+            }
+            movement += moved;
+        }
+        if movement <= cfg.tol {
+            break;
+        }
+    }
+    // Final assignment and inertia.
+    let mut inertia = 0.0;
+    for (i, label) in labels.iter_mut().enumerate() {
+        let p = points.row(i);
+        let mut best_c = 0;
+        let mut best_d = f64::INFINITY;
+        for c in 0..k {
+            let dist = sq_dist(p, centroids.row(c));
+            if dist < best_d {
+                best_d = dist;
+                best_c = c;
+            }
+        }
+        *label = best_c;
+        inertia += best_d;
+    }
+    KMeansResult {
+        labels,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> DenseMatrix {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.extend_from_slice(&[i as f64 * 0.01, 0.0]);
+        }
+        for i in 0..10 {
+            pts.extend_from_slice(&[5.0 + i as f64 * 0.01, 4.0]);
+        }
+        DenseMatrix::from_rows(20, 2, pts)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let r = kmeans(&two_blobs(), 2, &KMeansConfig::default()).unwrap();
+        let first = r.labels[0];
+        assert!(r.labels[..10].iter().all(|&l| l == first));
+        let second = r.labels[10];
+        assert!(r.labels[10..].iter().all(|&l| l == second));
+        assert_ne!(first, second);
+        assert!(r.inertia < 1.0);
+    }
+
+    #[test]
+    fn labels_match_nearest_centroid() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, 3, &KMeansConfig::default()).unwrap();
+        for i in 0..pts.nrows() {
+            let assigned = sq_dist(pts.row(i), r.centroids.row(r.labels[i]));
+            for c in 0..3 {
+                assert!(assigned <= sq_dist(pts.row(i), r.centroids.row(c)) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = DenseMatrix::from_rows(3, 1, vec![0.0, 5.0, 9.0]);
+        let r = kmeans(&pts, 3, &KMeansConfig::default()).unwrap();
+        assert!(r.inertia < 1e-20);
+        let mut sorted = r.labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn identical_points_dont_crash() {
+        let pts = DenseMatrix::from_rows(5, 2, vec![1.0; 10]);
+        let r = kmeans(&pts, 3, &KMeansConfig::default()).unwrap();
+        assert_eq!(r.labels.len(), 5);
+        assert!(r.inertia < 1e-20);
+    }
+
+    #[test]
+    fn invalid_arguments() {
+        let pts = DenseMatrix::from_rows(2, 1, vec![0.0, 1.0]);
+        assert!(kmeans(&pts, 0, &KMeansConfig::default()).is_err());
+        assert!(kmeans(&pts, 3, &KMeansConfig::default()).is_err());
+        let empty_dim = DenseMatrix::zeros(2, 0);
+        assert!(kmeans(&empty_dim, 1, &KMeansConfig::default()).is_err());
+        let nan = DenseMatrix::from_rows(2, 1, vec![f64::NAN, 1.0]);
+        assert!(kmeans(&nan, 1, &KMeansConfig::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = two_blobs();
+        let cfg = KMeansConfig::default();
+        let a = kmeans(&pts, 2, &cfg).unwrap();
+        let b = kmeans(&pts, 2, &cfg).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = DenseMatrix::from_rows(4, 1, vec![1.0, 2.0, 3.0, 6.0]);
+        let r = kmeans(&pts, 1, &KMeansConfig::default()).unwrap();
+        assert!((r.centroids[(0, 0)] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! Implicit-QL eigensolver for symmetric tridiagonal matrices.
+//!
+//! This is the classic `tql2` algorithm (EISPACK / Numerical Recipes): QL
+//! iterations with implicit Wilkinson shifts, accumulating the rotations into
+//! an eigenvector matrix. It serves the plain (non-restarted) Lanczos path,
+//! where the projected matrix is exactly tridiagonal.
+
+use bootes_sparse::DenseMatrix;
+
+use crate::error::LinalgError;
+
+/// Computes all eigenpairs of the symmetric tridiagonal matrix with diagonal
+/// `diag` and off-diagonal `offdiag` (`offdiag.len() == diag.len() - 1`, or
+/// both empty).
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted ascending; eigenvectors are
+/// the *columns* of the returned matrix, expressed in the basis in which the
+/// tridiagonal matrix is given.
+///
+/// # Errors
+///
+/// - [`LinalgError::Dimension`] if the array lengths are inconsistent.
+/// - [`LinalgError::NoConvergence`] if an eigenvalue needs more than 50 QL
+///   iterations (essentially impossible for finite input).
+/// - [`LinalgError::NumericalBreakdown`] on non-finite input.
+pub fn tridiag_eigen(
+    diag: &[f64],
+    offdiag: &[f64],
+) -> Result<(Vec<f64>, DenseMatrix), LinalgError> {
+    let n = diag.len();
+    if n == 0 {
+        return Ok((Vec::new(), DenseMatrix::zeros(0, 0)));
+    }
+    if offdiag.len() + 1 != n {
+        return Err(LinalgError::Dimension(format!(
+            "offdiag length {} != diag length {} - 1",
+            offdiag.len(),
+            n
+        )));
+    }
+    if !diag.iter().chain(offdiag).all(|v| v.is_finite()) {
+        return Err(LinalgError::NumericalBreakdown(
+            "non-finite tridiagonal entry".to_string(),
+        ));
+    }
+
+    let mut d = diag.to_vec();
+    // e is padded so e[n-1] == 0, matching the tql2 convention.
+    let mut e = Vec::with_capacity(n);
+    e.extend_from_slice(offdiag);
+    e.push(0.0);
+    let mut z = DenseMatrix::identity(n);
+
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Find a small off-diagonal element to split the problem.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 50 {
+                return Err(LinalgError::NoConvergence {
+                    routine: "tql2",
+                    iterations: 50,
+                });
+            }
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + if g >= 0.0 { r.abs() } else { -r.abs() });
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort ascending, permuting eigenvector columns to match.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("finite eigenvalues"));
+    let vals: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let mut vecs = DenseMatrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for rr in 0..n {
+            vecs[(rr, new_col)] = z[(rr, old_col)];
+        }
+    }
+    Ok((vals, vecs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(diag: &[f64], off: &[f64], vals: &[f64], vecs: &DenseMatrix) -> f64 {
+        let n = diag.len();
+        let mut worst = 0.0f64;
+        for col in 0..n {
+            let mut r = vec![0.0; n];
+            for i in 0..n {
+                let mut acc = diag[i] * vecs[(i, col)];
+                if i > 0 {
+                    acc += off[i - 1] * vecs[(i - 1, col)];
+                }
+                if i + 1 < n {
+                    acc += off[i] * vecs[(i + 1, col)];
+                }
+                r[i] = acc - vals[col] * vecs[(i, col)];
+            }
+            worst = worst.max(crate::vecops::norm2(&r));
+        }
+        worst
+    }
+
+    #[test]
+    fn single_element() {
+        let (vals, vecs) = tridiag_eigen(&[7.0], &[]).unwrap();
+        assert_eq!(vals, vec![7.0]);
+        assert_eq!(vecs[(0, 0)].abs(), 1.0);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[1, 2], [2, 1]] -> eigenvalues -1 and 3.
+        let (vals, vecs) = tridiag_eigen(&[1.0, 1.0], &[2.0]).unwrap();
+        assert!((vals[0] + 1.0).abs() < 1e-12);
+        assert!((vals[1] - 3.0).abs() < 1e-12);
+        assert!(residual(&[1.0, 1.0], &[2.0], &vals, &vecs) < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_path_graph() {
+        // Path-graph Laplacian: eigenvalues are 2 - 2cos(pi k / n), k=0..n-1.
+        let n = 10;
+        let diag: Vec<f64> = (0..n)
+            .map(|i| if i == 0 || i == n - 1 { 1.0 } else { 2.0 })
+            .collect();
+        let off = vec![-1.0; n - 1];
+        let (vals, vecs) = tridiag_eigen(&diag, &off).unwrap();
+        for (k, &v) in vals.iter().enumerate() {
+            let expect = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / n as f64).cos();
+            assert!((v - expect).abs() < 1e-9, "k={k}: {v} vs {expect}");
+        }
+        assert!(residual(&diag, &off, &vals, &vecs) < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let diag = vec![4.0, 1.0, 3.0, 2.0, 5.0];
+        let off = vec![0.5, -1.0, 2.0, 0.1];
+        let (vals, vecs) = tridiag_eigen(&diag, &off).unwrap();
+        let n = diag.len();
+        for i in 0..n {
+            for j in 0..n {
+                let mut g = 0.0;
+                for k in 0..n {
+                    g += vecs[(k, i)] * vecs[(k, j)];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((g - expect).abs() < 1e-10);
+            }
+        }
+        assert!(residual(&diag, &off, &vals, &vecs) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_bad_lengths_and_nan() {
+        assert!(tridiag_eigen(&[1.0, 2.0], &[]).is_err());
+        assert!(tridiag_eigen(&[1.0, f64::NAN], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let (vals, _) = tridiag_eigen(&[], &[]).unwrap();
+        assert!(vals.is_empty());
+    }
+}

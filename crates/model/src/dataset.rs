@@ -1,0 +1,265 @@
+//! Labeled feature datasets with deterministic splits and class weighting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// A labeled dataset: `n` samples of `d` features with integer class labels.
+///
+/// The paper's dataset holds one row per (matrix, accelerator) pair, with the
+/// §3.2 structural features and the label "no reorder" or the best `k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    feature_names: Vec<String>,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shape consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidDataset`] if lengths disagree, a feature
+    /// row has the wrong width, a label is `>= n_classes`, or a feature is
+    /// non-finite.
+    pub fn new(
+        x: Vec<Vec<f64>>,
+        y: Vec<usize>,
+        feature_names: Vec<String>,
+        n_classes: usize,
+    ) -> Result<Self, ModelError> {
+        if x.len() != y.len() {
+            return Err(ModelError::InvalidDataset(format!(
+                "{} feature rows but {} labels",
+                x.len(),
+                y.len()
+            )));
+        }
+        if n_classes == 0 {
+            return Err(ModelError::InvalidDataset(
+                "n_classes must be positive".to_string(),
+            ));
+        }
+        let d = feature_names.len();
+        for (i, row) in x.iter().enumerate() {
+            if row.len() != d {
+                return Err(ModelError::InvalidDataset(format!(
+                    "sample {i} has {} features, expected {d}",
+                    row.len()
+                )));
+            }
+            if let Some(v) = row.iter().find(|v| !v.is_finite()) {
+                return Err(ModelError::InvalidDataset(format!(
+                    "sample {i} contains non-finite feature {v}"
+                )));
+            }
+        }
+        if let Some(&bad) = y.iter().find(|&&c| c >= n_classes) {
+            return Err(ModelError::InvalidDataset(format!(
+                "label {bad} out of range for {n_classes} classes"
+            )));
+        }
+        Ok(Dataset {
+            x,
+            y,
+            feature_names,
+            n_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of features per sample.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature names (column headers).
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Feature row of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn features(&self, i: usize) -> &[f64] {
+        &self.x[i]
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn label(&self, i: usize) -> usize {
+        self.y[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.y
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &c in &self.y {
+            counts[c] += 1;
+        }
+        counts
+    }
+
+    /// Balanced class weights `n / (k · count_c)` (sklearn's
+    /// `class_weight="balanced"`), the paper's fix for the "no reorder"
+    /// majority bias (§5.1). Absent classes get weight 0.
+    pub fn balanced_class_weights(&self) -> Vec<f64> {
+        let counts = self.class_counts();
+        let present = counts.iter().filter(|&&c| c > 0).count().max(1);
+        counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    0.0
+                } else {
+                    self.len() as f64 / (present as f64 * c as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Deterministically shuffles and splits into `(train, test)` with
+    /// `train_fraction` of samples in the training set (the paper uses 0.7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if the fraction is outside
+    /// `(0, 1]`.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> Result<(Dataset, Dataset), ModelError> {
+        let fraction_valid = train_fraction > 0.0 && train_fraction <= 1.0;
+        if !fraction_valid {
+            return Err(ModelError::InvalidConfig(format!(
+                "train_fraction {train_fraction} must be in (0, 1]"
+            )));
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let cut = ((self.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.min(self.len());
+        let subset = |idx: &[usize]| Dataset {
+            x: idx.iter().map(|&i| self.x[i].clone()).collect(),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+            feature_names: self.feature_names.clone(),
+            n_classes: self.n_classes,
+        };
+        Ok((subset(&order[..cut]), subset(&order[cut..])))
+    }
+
+    /// Builds a bootstrap resample of the same size (for bagging).
+    pub fn bootstrap(&self, seed: u64) -> Dataset {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.len();
+        let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+        Dataset {
+            x: idx.iter().map(|&i| self.x[i].clone()).collect(),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+            feature_names: self.feature_names.clone(),
+            n_classes: self.n_classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![5.0]],
+            vec![0, 0, 0, 0, 1, 1],
+            vec!["f".into()],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validates_shapes() {
+        assert!(Dataset::new(vec![vec![1.0]], vec![0, 1], vec!["f".into()], 2).is_err());
+        assert!(Dataset::new(vec![vec![1.0, 2.0]], vec![0], vec!["f".into()], 2).is_err());
+        assert!(Dataset::new(vec![vec![1.0]], vec![5], vec!["f".into()], 2).is_err());
+        assert!(Dataset::new(vec![vec![f64::NAN]], vec![0], vec!["f".into()], 2).is_err());
+        assert!(Dataset::new(vec![], vec![], vec![], 0).is_err());
+    }
+
+    #[test]
+    fn class_counts_and_weights() {
+        let ds = toy();
+        assert_eq!(ds.class_counts(), vec![4, 2]);
+        let w = ds.balanced_class_weights();
+        // n/(k*c): 6/(2*4) = 0.75, 6/(2*2) = 1.5
+        assert!((w[0] - 0.75).abs() < 1e-12);
+        assert!((w[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_partitions_without_overlap() {
+        let ds = toy();
+        let (tr, te) = ds.split(0.5, 1).unwrap();
+        assert_eq!(tr.len() + te.len(), ds.len());
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.n_features(), 1);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let ds = toy();
+        let (a, _) = ds.split(0.7, 9).unwrap();
+        let (b, _) = ds.split(0.7, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_rejects_bad_fraction() {
+        let ds = toy();
+        assert!(ds.split(0.0, 0).is_err());
+        assert!(ds.split(1.5, 0).is_err());
+    }
+
+    #[test]
+    fn bootstrap_preserves_shape() {
+        let ds = toy();
+        let bs = ds.bootstrap(3);
+        assert_eq!(bs.len(), ds.len());
+        assert_eq!(bs.n_features(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ds = toy();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+}

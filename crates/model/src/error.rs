@@ -1,0 +1,50 @@
+//! Error type for model training and inference.
+
+use std::fmt;
+
+/// Error returned by dataset construction, training and prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Features, labels or class counts were inconsistent.
+    InvalidDataset(String),
+    /// A hyperparameter was out of range.
+    InvalidConfig(String),
+    /// A prediction input did not match the trained feature dimension.
+    FeatureMismatch {
+        /// Features the model was trained with.
+        expected: usize,
+        /// Features supplied at prediction time.
+        got: usize,
+    },
+    /// Serialized model could not be decoded.
+    Serialization(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+            ModelError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ModelError::FeatureMismatch { expected, got } => {
+                write!(f, "expected {expected} features, got {got}")
+            }
+            ModelError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = ModelError::FeatureMismatch {
+            expected: 5,
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "expected 5 features, got 3");
+    }
+}

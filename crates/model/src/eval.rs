@@ -1,0 +1,121 @@
+//! Classification metrics.
+
+/// Fraction of positions where `pred == truth`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = truth.iter().zip(pred).filter(|(a, b)| a == b).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// `n_classes x n_classes` confusion matrix; `m[t][p]` counts samples of true
+/// class `t` predicted as `p`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or any label is `>= n_classes`.
+pub fn confusion_matrix(truth: &[usize], pred: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in truth.iter().zip(pred) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Macro-averaged F1 over the classes that appear in `truth`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or any label is `>= n_classes`.
+#[allow(clippy::needless_range_loop)]
+pub fn macro_f1(truth: &[usize], pred: &[usize], n_classes: usize) -> f64 {
+    let m = confusion_matrix(truth, pred, n_classes);
+    let mut f1_sum = 0.0;
+    let mut present = 0usize;
+    for c in 0..n_classes {
+        let tp = m[c][c] as f64;
+        let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+        let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
+        if tp + fn_ == 0.0 {
+            continue; // class absent from truth
+        }
+        present += 1;
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = tp / (tp + fn_);
+        if precision + recall > 0.0 {
+            f1_sum += 2.0 * precision * recall / (precision + recall);
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        f1_sum / present as f64
+    }
+}
+
+/// Geometric mean of strictly positive values (used for the paper's geomean
+/// speedups). Returns `0.0` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geomean requires positive values"
+    );
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[0, 1, 2, 1], &[0, 1, 0, 1]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_places_counts() {
+        let m = confusion_matrix(&[0, 0, 1], &[0, 1, 1], 2);
+        assert_eq!(m, vec![vec![1, 1], vec![0, 1]]);
+    }
+
+    #[test]
+    fn perfect_f1() {
+        assert!((macro_f1(&[0, 1, 2], &[0, 1, 2], 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_ignores_absent_classes() {
+        // Class 2 never appears in truth.
+        let f = macro_f1(&[0, 0, 1, 1], &[0, 1, 1, 1], 3);
+        // class 0: p=1, r=0.5 -> f1 = 2/3; class 1: p=2/3, r=1 -> f1 = 0.8
+        assert!((f - (2.0 / 3.0 + 0.8) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Random forest: bagged CART trees with feature subsampling.
+//!
+//! The paper experimented with random forests (and XGBoost/SVMs) before
+//! settling on a single decision tree for storage reasons (§3). The forest is
+//! kept as the accuracy/storage comparison point: `ablations` benches report
+//! both models' accuracy next to their serialized size.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::error::ModelError;
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// Hyperparameters for [`RandomForest::fit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of bagged trees.
+    pub n_trees: usize,
+    /// Configuration applied to each tree; `max_features` defaults to
+    /// `ceil(sqrt(d))` when `None`.
+    pub tree: TreeConfig,
+    /// Seed stream for bootstraps and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 25,
+            tree: TreeConfig::default(),
+            seed: 99,
+        }
+    }
+}
+
+/// A trained random forest (majority vote over trees).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Trains a forest on `ds`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree-training errors and rejects `n_trees == 0`.
+    pub fn fit(ds: &Dataset, cfg: &ForestConfig) -> Result<Self, ModelError> {
+        if cfg.n_trees == 0 {
+            return Err(ModelError::InvalidConfig(
+                "n_trees must be at least 1".to_string(),
+            ));
+        }
+        let d = ds.n_features();
+        let default_mf = ((d as f64).sqrt().ceil() as usize).clamp(1, d.max(1));
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for t in 0..cfg.n_trees {
+            let sample = ds.bootstrap(cfg.seed.wrapping_add(t as u64));
+            let tree_cfg = TreeConfig {
+                max_features: Some(cfg.tree.max_features.unwrap_or(default_mf)),
+                seed: cfg.seed.wrapping_add(0x1000 + t as u64),
+                ..cfg.tree.clone()
+            };
+            trees.push(DecisionTree::fit(&sample, &tree_cfg)?);
+        }
+        Ok(RandomForest {
+            trees,
+            n_classes: ds.n_classes(),
+            n_features: d,
+        })
+    }
+
+    /// Predicts by majority vote (ties toward the smaller class index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::FeatureMismatch`] if `x` has the wrong length.
+    pub fn predict(&self, x: &[f64]) -> Result<usize, ModelError> {
+        let proba = self.predict_proba(x)?;
+        let mut best = 0;
+        for (i, &v) in proba.iter().enumerate() {
+            if v > proba[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Mean class-probability distribution over the trees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::FeatureMismatch`] if `x` has the wrong length.
+    pub fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, ModelError> {
+        let mut acc = vec![0.0; self.n_classes];
+        for t in &self.trees {
+            for (a, p) in acc.iter_mut().zip(t.predict_proba(x)?) {
+                *a += p;
+            }
+        }
+        let inv = 1.0 / self.trees.len() as f64;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        Ok(acc)
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Size of the JSON-serialized model in bytes (compare with
+    /// [`DecisionTree::serialized_size`] for the paper's storage argument).
+    pub fn serialized_size(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let c = i % 3;
+            x.push(vec![
+                c as f64 * 10.0 + (i % 5) as f64 * 0.1,
+                c as f64 * -5.0 + (i % 4) as f64 * 0.1,
+            ]);
+            y.push(c);
+        }
+        Dataset::new(x, y, vec!["u".into(), "v".into()], 3).unwrap()
+    }
+
+    #[test]
+    fn classifies_blobs() {
+        let ds = blobs();
+        let f = RandomForest::fit(&ds, &ForestConfig::default()).unwrap();
+        assert_eq!(f.predict(&[0.2, 0.1]).unwrap(), 0);
+        assert_eq!(f.predict(&[10.2, -4.9]).unwrap(), 1);
+        assert_eq!(f.predict(&[20.1, -9.8]).unwrap(), 2);
+    }
+
+    #[test]
+    fn proba_is_distribution() {
+        let ds = blobs();
+        let f = RandomForest::fit(&ds, &ForestConfig::default()).unwrap();
+        let p = f.predict_proba(&[10.0, -5.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn forest_is_larger_than_single_tree() {
+        let ds = blobs();
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default()).unwrap();
+        let forest = RandomForest::fit(&ds, &ForestConfig::default()).unwrap();
+        assert!(forest.serialized_size() > tree.serialized_size());
+        assert_eq!(forest.n_trees(), 25);
+    }
+
+    #[test]
+    fn rejects_zero_trees() {
+        let ds = blobs();
+        assert!(RandomForest::fit(
+            &ds,
+            &ForestConfig {
+                n_trees: 0,
+                ..ForestConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = blobs();
+        let a = RandomForest::fit(&ds, &ForestConfig::default()).unwrap();
+        let b = RandomForest::fit(&ds, &ForestConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

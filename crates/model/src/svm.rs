@@ -1,0 +1,283 @@
+//! Linear one-vs-rest support vector machine.
+//!
+//! The last of the paper's rejected model alternatives (§3). Trained with
+//! averaged stochastic subgradient descent on the L2-regularized hinge loss
+//! over standardized features. Deterministic under a fixed seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::error::ModelError;
+
+/// Hyperparameters for [`LinearSvm::fit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Initial learning rate (decayed as `lr / (1 + epoch)`).
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub lambda: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            epochs: 60,
+            learning_rate: 0.1,
+            lambda: 1e-3,
+            seed: 13,
+        }
+    }
+}
+
+/// A trained linear multiclass SVM (one binary classifier per class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvm {
+    /// `weights[class][feature]`.
+    weights: Vec<Vec<f64>>,
+    bias: Vec<f64>,
+    /// Feature standardization parameters.
+    mean: Vec<f64>,
+    scale: Vec<f64>,
+    n_features: usize,
+}
+
+impl LinearSvm {
+    /// Trains a one-vs-rest linear SVM on `ds`.
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::InvalidDataset`] if the dataset is empty.
+    /// - [`ModelError::InvalidConfig`] for non-positive epochs/learning rate
+    ///   or negative regularization.
+    pub fn fit(ds: &Dataset, cfg: &SvmConfig) -> Result<Self, ModelError> {
+        if ds.is_empty() {
+            return Err(ModelError::InvalidDataset(
+                "cannot train on an empty dataset".to_string(),
+            ));
+        }
+        if cfg.epochs == 0 {
+            return Err(ModelError::InvalidConfig("epochs must be >= 1".into()));
+        }
+        let lr_valid = cfg.learning_rate > 0.0;
+        if !lr_valid {
+            return Err(ModelError::InvalidConfig(
+                "learning_rate must be positive".into(),
+            ));
+        }
+        if cfg.lambda < 0.0 {
+            return Err(ModelError::InvalidConfig(
+                "lambda must be non-negative".into(),
+            ));
+        }
+        let n = ds.len();
+        let d = ds.n_features();
+        let k = ds.n_classes();
+
+        // Standardization.
+        let mut mean = vec![0.0; d];
+        for i in 0..n {
+            for (m, &v) in mean.iter_mut().zip(ds.features(i)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut var = vec![0.0; d];
+        for i in 0..n {
+            for ((s, &v), m) in var.iter_mut().zip(ds.features(i)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let scale: Vec<f64> = var
+            .iter()
+            .map(|&v| {
+                let sd = (v / n as f64).sqrt();
+                if sd > 1e-12 {
+                    1.0 / sd
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let standardized: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                ds.features(i)
+                    .iter()
+                    .zip(&mean)
+                    .zip(&scale)
+                    .map(|((&v, m), s)| (v - m) * s)
+                    .collect()
+            })
+            .collect();
+
+        let mut weights = vec![vec![0.0f64; d]; k];
+        let mut bias = vec![0.0f64; k];
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let lr = cfg.learning_rate / (1.0 + epoch as f64);
+            for &i in &order {
+                let x = &standardized[i];
+                for c in 0..k {
+                    let y = if ds.label(i) == c { 1.0 } else { -1.0 };
+                    let margin: f64 =
+                        weights[c].iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + bias[c];
+                    if y * margin < 1.0 {
+                        for (w, &v) in weights[c].iter_mut().zip(x) {
+                            *w += lr * (y * v - 2.0 * cfg.lambda * *w);
+                        }
+                        bias[c] += lr * y;
+                    } else {
+                        for w in &mut weights[c] {
+                            *w -= lr * 2.0 * cfg.lambda * *w;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(LinearSvm {
+            weights,
+            bias,
+            mean,
+            scale,
+            n_features: d,
+        })
+    }
+
+    /// Per-class decision margins for one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::FeatureMismatch`] if `x` has the wrong length.
+    pub fn decision_scores(&self, x: &[f64]) -> Result<Vec<f64>, ModelError> {
+        if x.len() != self.n_features {
+            return Err(ModelError::FeatureMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        let std: Vec<f64> = x
+            .iter()
+            .zip(&self.mean)
+            .zip(&self.scale)
+            .map(|((&v, m), s)| (v - m) * s)
+            .collect();
+        Ok(self
+            .weights
+            .iter()
+            .zip(&self.bias)
+            .map(|(w, b)| w.iter().zip(&std).map(|(wi, v)| wi * v).sum::<f64>() + b)
+            .collect())
+    }
+
+    /// Predicts the class with the largest margin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::FeatureMismatch`] if `x` has the wrong length.
+    pub fn predict(&self, x: &[f64]) -> Result<usize, ModelError> {
+        let scores = self.decision_scores(x)?;
+        let mut best = 0;
+        for (c, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = c;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Size of the JSON-serialized model in bytes.
+    pub fn serialized_size(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let c = i % 3;
+            x.push(vec![
+                c as f64 * 4.0 + (i % 5) as f64 * 0.1,
+                -(c as f64) * 2.0 + (i % 7) as f64 * 0.05,
+            ]);
+            y.push(c);
+        }
+        Dataset::new(x, y, vec!["u".into(), "v".into()], 3).unwrap()
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let ds = blobs();
+        let svm = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
+        let correct = (0..ds.len())
+            .filter(|&i| svm.predict(ds.features(i)).unwrap() == ds.label(i))
+            .count();
+        assert!(correct >= ds.len() - 2, "only {correct}/{} correct", ds.len());
+    }
+
+    #[test]
+    fn margins_favor_true_class() {
+        let ds = blobs();
+        let svm = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
+        let scores = svm.decision_scores(&[8.0, -4.0]).unwrap();
+        assert_eq!(scores.len(), 3);
+        assert!(scores[2] > scores[0]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = blobs();
+        let a = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
+        let b = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_feature_is_ignored_without_nan() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            x.push(vec![5.0, if i < 10 { 0.0 } else { 1.0 }]);
+            y.push(usize::from(i >= 10));
+        }
+        let ds = Dataset::new(x, y, vec!["const".into(), "sig".into()], 2).unwrap();
+        let svm = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
+        assert_eq!(svm.predict(&[5.0, 0.0]).unwrap(), 0);
+        assert_eq!(svm.predict(&[5.0, 1.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let ds = blobs();
+        assert!(LinearSvm::fit(&ds, &SvmConfig { epochs: 0, ..SvmConfig::default() }).is_err());
+        assert!(LinearSvm::fit(&ds, &SvmConfig { learning_rate: 0.0, ..SvmConfig::default() }).is_err());
+        assert!(LinearSvm::fit(&ds, &SvmConfig { lambda: -1.0, ..SvmConfig::default() }).is_err());
+        let svm = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
+        assert!(matches!(svm.predict(&[0.0]), Err(ModelError::FeatureMismatch { .. })));
+        let empty = Dataset::new(vec![], vec![], vec!["f".into()], 2).unwrap();
+        assert!(LinearSvm::fit(&empty, &SvmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ds = blobs();
+        let svm = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
+        let j = serde_json::to_string(&svm).unwrap();
+        assert_eq!(serde_json::from_str::<LinearSvm>(&j).unwrap(), svm);
+        assert!(svm.serialized_size() > 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for reordering algorithms.
+
+use std::fmt;
+
+use bootes_sparse::SparseError;
+
+/// Error returned by [`crate::Reorderer::reorder`] implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReorderError {
+    /// An underlying sparse-matrix operation failed.
+    Sparse(SparseError),
+    /// An algorithm parameter was invalid (e.g. a zero LSH signature length).
+    InvalidConfig(String),
+    /// A numerical stage (eigensolve, clustering) failed; the message carries
+    /// the inner description.
+    Numerical(String),
+}
+
+impl fmt::Display for ReorderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReorderError::Sparse(e) => write!(f, "sparse operation failed: {e}"),
+            ReorderError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ReorderError::Numerical(msg) => write!(f, "numerical stage failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReorderError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReorderError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for ReorderError {
+    fn from(e: SparseError) -> Self {
+        ReorderError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        use std::error::Error;
+        let e = ReorderError::from(SparseError::InvalidPermutation("dup".to_string()));
+        assert!(e.to_string().contains("sparse operation failed"));
+        assert!(e.source().is_some());
+        let e = ReorderError::InvalidConfig("bad".to_string());
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,209 @@
+//! GAMMA's windowed greedy row reordering (Algorithm 1 of the paper).
+//!
+//! A priority queue holds every not-yet-placed row. After placing row
+//! `P[i-1]`, every row sharing a column coordinate with it gets its priority
+//! bumped; once the placement cursor moves a full cache window `W` past a
+//! row, the rows similar to that expired row get their priority dropped
+//! again. The next placement is always the maximum-priority row.
+//!
+//! Complexity is `O(N log N · Q²)` (Table 2): each placed row touches up to
+//! `Q` columns, each column up to `Q` rows, and every priority update costs a
+//! heap sift.
+
+use std::time::Instant;
+
+use bootes_sparse::{CsrMatrix, Permutation};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::ReorderError;
+use crate::metrics::{MemTracker, ReorderStats};
+use crate::pq::IndexedPriorityQueue;
+use crate::{ReorderOutcome, Reorderer};
+
+/// Configuration for [`GammaReorderer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GammaConfig {
+    /// Cache window `W`: how many recently placed rows are assumed resident.
+    pub window: usize,
+    /// Seed for the random starting row.
+    pub seed: u64,
+}
+
+impl Default for GammaConfig {
+    fn default() -> Self {
+        GammaConfig {
+            window: 64,
+            seed: 0xA11CE,
+        }
+    }
+}
+
+/// The GAMMA accelerator's row-reordering preprocessing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GammaReorderer {
+    config: GammaConfig,
+}
+
+impl GammaReorderer {
+    /// Creates a reorderer with the given configuration.
+    pub fn new(config: GammaConfig) -> Self {
+        GammaReorderer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GammaConfig {
+        &self.config
+    }
+}
+
+impl Reorderer for GammaReorderer {
+    fn name(&self) -> &'static str {
+        "gamma"
+    }
+
+    fn reorder(&self, a: &CsrMatrix) -> Result<ReorderOutcome, ReorderError> {
+        let start = Instant::now();
+        let n = a.nrows();
+        let mut mem = MemTracker::new();
+        if n == 0 {
+            return Ok(ReorderOutcome {
+                permutation: Permutation::identity(0),
+                stats: ReorderStats::new(self.name(), start.elapsed(), 0),
+            });
+        }
+        let w = self.config.window.max(1);
+
+        // Column -> rows lookup; Gamma tracks which rows share each column.
+        let csc = a.to_csc();
+        mem.alloc(csc.heap_bytes());
+
+        let mut q = IndexedPriorityQueue::new(n);
+        for r in 0..n {
+            q.insert(r, 0);
+        }
+        mem.alloc(q.heap_bytes());
+
+        // P is populated during the loop (the paper notes this is why Gamma's
+        // footprint peaks higher than its peers).
+        let mut p: Vec<usize> = Vec::with_capacity(n);
+        mem.alloc(n * std::mem::size_of::<usize>());
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let first = rng.random_range(0..n);
+        p.push(first);
+        q.remove(first);
+
+        for i in 1..n {
+            // Boost rows similar to the most recently placed row.
+            for &u in a.row(p[i - 1]).0 {
+                for &r in csc.col(u).0 {
+                    if q.contains(r) {
+                        q.inc_key(r);
+                    }
+                }
+            }
+            // Expire rows similar to the row that just left the cache window.
+            if i > w {
+                for &u in a.row(p[i - w - 1]).0 {
+                    for &r in csc.col(u).0 {
+                        if q.contains(r) {
+                            q.dec_key(r);
+                        }
+                    }
+                }
+            }
+            let next = q.pop().expect("queue holds exactly the unplaced rows");
+            p.push(next);
+        }
+
+        let permutation = Permutation::try_new(p)?;
+        Ok(ReorderOutcome {
+            permutation,
+            stats: ReorderStats::new(self.name(), start.elapsed(), mem.peak_bytes()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootes_sparse::CooMatrix;
+
+    /// Two interleaved groups of rows: even rows share columns 0..4, odd rows
+    /// share columns 10..14.
+    fn interleaved(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, 20);
+        for r in 0..n {
+            let base = if r % 2 == 0 { 0 } else { 10 };
+            for c in base..base + 4 {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn produces_valid_permutation() {
+        let a = interleaved(40);
+        let out = GammaReorderer::default().reorder(&a).unwrap();
+        assert_eq!(out.permutation.len(), 40);
+    }
+
+    #[test]
+    fn groups_similar_rows_together() {
+        let a = interleaved(40);
+        let out = GammaReorderer::default().reorder(&a).unwrap();
+        // After reordering, adjacent rows should mostly share a group:
+        // count adjacent pairs with equal parity of the original index.
+        let p = out.permutation.as_slice();
+        let same_group = p
+            .windows(2)
+            .filter(|w| (w[0] % 2) == (w[1] % 2))
+            .count();
+        // With 40 rows in 2 groups an optimal ordering has 38 same-group
+        // adjacencies; random would give ~19.5. Gamma must land near optimal.
+        assert!(same_group >= 34, "only {same_group} same-group adjacencies");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = interleaved(30);
+        let r = GammaReorderer::default();
+        assert_eq!(
+            r.reorder(&a).unwrap().permutation,
+            r.reorder(&a).unwrap().permutation
+        );
+    }
+
+    #[test]
+    fn window_affects_result_metadata() {
+        let a = interleaved(30);
+        let small = GammaReorderer::new(GammaConfig {
+            window: 2,
+            ..GammaConfig::default()
+        });
+        let out = small.reorder(&a).unwrap();
+        assert_eq!(out.permutation.len(), 30);
+        assert!(out.stats.peak_bytes > 0);
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_matrices() {
+        let out = GammaReorderer::default()
+            .reorder(&CsrMatrix::zeros(0, 0))
+            .unwrap();
+        assert!(out.permutation.is_empty());
+        let out = GammaReorderer::default()
+            .reorder(&CsrMatrix::identity(1))
+            .unwrap();
+        assert_eq!(out.permutation.len(), 1);
+    }
+
+    #[test]
+    fn handles_empty_rows() {
+        let a = CsrMatrix::try_new(3, 3, vec![0, 0, 1, 1], vec![1], vec![1.0]).unwrap();
+        let out = GammaReorderer::default().reorder(&a).unwrap();
+        assert_eq!(out.permutation.len(), 3);
+    }
+}

@@ -1,0 +1,274 @@
+//! Hierarchical-clustering row reordering (Algorithm 3 of the paper).
+//!
+//! Candidate row pairs come from MinHash-LSH ([`crate::lsh`]); a max-heap
+//! ordered by exact Jaccard similarity drives agglomerative merging over a
+//! union-find forest. A merge that pushes a cluster past `threshold_size`
+//! freezes ("deletes") the cluster. When a popped pair's endpoints are no
+//! longer representatives, the pair is re-keyed on the current
+//! representatives and re-inserted — exactly the paper's lazy re-evaluation.
+//! The final permutation lists clusters in order of their smallest member.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+use std::time::Instant;
+
+use bootes_sparse::{stats, CsrMatrix, Permutation};
+
+use crate::error::ReorderError;
+use crate::lsh::MinHashSignatures;
+use crate::metrics::{MemTracker, ReorderStats};
+use crate::unionfind::UnionFind;
+use crate::{ReorderOutcome, Reorderer};
+
+/// Configuration for [`HierReorderer`].
+///
+/// The paper stresses that `siglen` and `bsize` are *fixed across all
+/// matrices* — that rigidity is one of Hier's weaknesses Bootes exploits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierConfig {
+    /// MinHash signature length.
+    pub siglen: usize,
+    /// LSH band size (`siglen` must be a multiple for full coverage).
+    pub bsize: usize,
+    /// Freeze ("delete") clusters that grow beyond this size.
+    pub threshold_size: usize,
+    /// Seed for the MinHash hash family.
+    pub seed: u64,
+}
+
+impl Default for HierConfig {
+    fn default() -> Self {
+        HierConfig {
+            siglen: 32,
+            bsize: 4,
+            threshold_size: 64,
+            seed: 0x415E,
+        }
+    }
+}
+
+/// The LSH + hierarchical-clustering reorderer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HierReorderer {
+    config: HierConfig,
+}
+
+impl HierReorderer {
+    /// Creates a reorderer with the given configuration.
+    pub fn new(config: HierConfig) -> Self {
+        HierReorderer { config }
+    }
+}
+
+/// Heap entry ordered by similarity, ties toward smaller indices.
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    sim: f64,
+    i: usize,
+    j: usize,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim
+            .partial_cmp(&other.sim)
+            .expect("similarities are finite")
+            .then_with(|| other.i.cmp(&self.i))
+            .then_with(|| other.j.cmp(&self.j))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Reorderer for HierReorderer {
+    fn name(&self) -> &'static str {
+        "hier"
+    }
+
+    fn reorder(&self, a: &CsrMatrix) -> Result<ReorderOutcome, ReorderError> {
+        let start = Instant::now();
+        let cfg = &self.config;
+        if cfg.siglen == 0 || cfg.bsize == 0 {
+            return Err(ReorderError::InvalidConfig(
+                "siglen and bsize must be positive".to_string(),
+            ));
+        }
+        if cfg.threshold_size == 0 {
+            return Err(ReorderError::InvalidConfig(
+                "threshold_size must be positive".to_string(),
+            ));
+        }
+        let n = a.nrows();
+        let mut mem = MemTracker::new();
+        if n == 0 {
+            return Ok(ReorderOutcome {
+                permutation: Permutation::identity(0),
+                stats: ReorderStats::new(self.name(), start.elapsed(), 0),
+            });
+        }
+
+        // LSH candidate generation.
+        let signatures = MinHashSignatures::compute(a, cfg.siglen, cfg.seed);
+        mem.alloc(signatures.heap_bytes());
+        let candidates = signatures.candidate_pairs(cfg.bsize);
+        mem.alloc(candidates.len() * std::mem::size_of::<(usize, usize)>());
+
+        // Max-heap seeded with exact Jaccard scores of the candidates.
+        let mut heap: BinaryHeap<Candidate> = candidates
+            .iter()
+            .map(|&(i, j)| Candidate {
+                sim: stats::jaccard(a, i, j),
+                i,
+                j,
+            })
+            .collect();
+        mem.alloc(heap.len() * std::mem::size_of::<Candidate>());
+        // Pairs already enqueued once on their representatives, to avoid
+        // re-inserting the same representative pair repeatedly.
+        let mut requeued: HashSet<(usize, usize)> = HashSet::new();
+
+        let mut uf = UnionFind::new(n);
+        mem.alloc(n * 3 * std::mem::size_of::<usize>());
+
+        while let Some(Candidate { sim, i, j }) = heap.pop() {
+            if sim <= 0.0 {
+                // Candidates below any similarity cannot guide merging.
+                continue;
+            }
+            let ri = uf.root(i);
+            let rj = uf.root(j);
+            if ri == rj {
+                continue;
+            }
+            if i == ri && j == rj {
+                // Both endpoints are representatives: merge.
+                if uf.is_frozen(ri) || uf.is_frozen(rj) {
+                    continue;
+                }
+                if let Some(root) = uf.union(ri, rj) {
+                    if uf.set_size(root) > cfg.threshold_size {
+                        uf.freeze(root);
+                    }
+                }
+            } else {
+                // Stale endpoints: re-key on the current representatives.
+                if uf.is_frozen(ri) || uf.is_frozen(rj) {
+                    continue;
+                }
+                let key = (ri.min(rj), ri.max(rj));
+                if requeued.insert(key) {
+                    heap.push(Candidate {
+                        sim: stats::jaccard(a, key.0, key.1),
+                        i: key.0,
+                        j: key.1,
+                    });
+                }
+            }
+        }
+
+        // Emit clusters ordered by smallest member, rows in index order.
+        let groups = uf.groups();
+        let mut p = Vec::with_capacity(n);
+        for g in &groups {
+            p.extend_from_slice(g);
+        }
+        mem.alloc(n * std::mem::size_of::<usize>());
+
+        let permutation = Permutation::try_new(p)?;
+        Ok(ReorderOutcome {
+            permutation,
+            stats: ReorderStats::new(self.name(), start.elapsed(), mem.peak_bytes()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootes_sparse::CooMatrix;
+
+    fn interleaved(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, 20);
+        for r in 0..n {
+            let base = if r % 2 == 0 { 0 } else { 10 };
+            for c in base..base + 4 {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn clusters_identical_rows() {
+        let a = interleaved(30);
+        let out = HierReorderer::default().reorder(&a).unwrap();
+        let p = out.permutation.as_slice();
+        let same_group = p.windows(2).filter(|w| (w[0] % 2) == (w[1] % 2)).count();
+        assert!(same_group >= 27, "only {same_group} same-group adjacencies");
+    }
+
+    #[test]
+    fn threshold_freezes_clusters() {
+        let a = interleaved(40);
+        let cfg = HierConfig {
+            threshold_size: 5,
+            ..HierConfig::default()
+        };
+        let out = HierReorderer::new(cfg).reorder(&a).unwrap();
+        assert_eq!(out.permutation.len(), 40);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let a = interleaved(4);
+        for cfg in [
+            HierConfig {
+                siglen: 0,
+                ..HierConfig::default()
+            },
+            HierConfig {
+                bsize: 0,
+                ..HierConfig::default()
+            },
+            HierConfig {
+                threshold_size: 0,
+                ..HierConfig::default()
+            },
+        ] {
+            assert!(HierReorderer::new(cfg).reorder(&a).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_and_all_empty_rows() {
+        let out = HierReorderer::default().reorder(&CsrMatrix::zeros(0, 0)).unwrap();
+        assert!(out.permutation.is_empty());
+        let out = HierReorderer::default().reorder(&CsrMatrix::zeros(5, 5)).unwrap();
+        assert_eq!(out.permutation.len(), 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = interleaved(20);
+        let r = HierReorderer::default();
+        assert_eq!(
+            r.reorder(&a).unwrap().permutation,
+            r.reorder(&a).unwrap().permutation
+        );
+    }
+
+    #[test]
+    fn stats_report_memory() {
+        let a = interleaved(20);
+        let out = HierReorderer::default().reorder(&a).unwrap();
+        assert!(out.stats.peak_bytes > 0);
+        assert_eq!(out.stats.algorithm, "hier");
+    }
+}

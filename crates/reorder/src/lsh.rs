@@ -1,0 +1,211 @@
+//! MinHash locality-sensitive hashing over row column-supports.
+//!
+//! The Hier baseline (Algorithm 3) avoids an exhaustive pairwise similarity
+//! matrix by MinHash + banding: each row's column set is summarized by
+//! `siglen` minimum hash values; the signature is cut into bands of `bsize`
+//! rows, and two rows become a *candidate pair* whenever any band collides.
+//! The collision probability of a band is `jaccard^bsize`, so similar rows
+//! collide with high probability while dissimilar ones rarely do.
+
+use std::collections::HashMap;
+
+use bootes_sparse::CsrMatrix;
+
+/// MinHash signatures for every row of a matrix.
+#[derive(Debug, Clone)]
+pub struct MinHashSignatures {
+    siglen: usize,
+    /// Row-major `nrows x siglen` signature matrix.
+    sig: Vec<u64>,
+    nrows: usize,
+}
+
+/// A large Mersenne prime used as the hash modulus.
+const PRIME: u64 = (1 << 61) - 1;
+
+fn hash_params(siglen: usize, seed: u64) -> Vec<(u64, u64)> {
+    // Deterministic splitmix64 stream for the (a, b) pairs.
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    (0..siglen)
+        .map(|_| (next() % (PRIME - 1) + 1, next() % PRIME))
+        .collect()
+}
+
+impl MinHashSignatures {
+    /// Computes `siglen` MinHash values per row of `a`.
+    ///
+    /// Empty rows receive the all-`u64::MAX` signature, which never collides
+    /// with a non-empty row's bands (their band hashes are segregated).
+    pub fn compute(a: &CsrMatrix, siglen: usize, seed: u64) -> Self {
+        let params = hash_params(siglen, seed);
+        let nrows = a.nrows();
+        let mut sig = vec![u64::MAX; nrows * siglen];
+        for r in 0..nrows {
+            let (cols, _) = a.row(r);
+            let row_sig = &mut sig[r * siglen..(r + 1) * siglen];
+            for &c in cols {
+                for (s, &(ha, hb)) in row_sig.iter_mut().zip(&params) {
+                    let h = (ha.wrapping_mul(c as u64 + 1).wrapping_add(hb)) % PRIME;
+                    if h < *s {
+                        *s = h;
+                    }
+                }
+            }
+        }
+        MinHashSignatures { siglen, sig, nrows }
+    }
+
+    /// The signature of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= nrows`.
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.sig[r * self.siglen..(r + 1) * self.siglen]
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Signature length.
+    pub fn siglen(&self) -> usize {
+        self.siglen
+    }
+
+    /// Estimated Jaccard similarity between rows `i` and `j`: the fraction of
+    /// matching signature positions.
+    pub fn estimate_jaccard(&self, i: usize, j: usize) -> f64 {
+        if self.siglen == 0 {
+            return 0.0;
+        }
+        let matches = self
+            .row(i)
+            .iter()
+            .zip(self.row(j))
+            .filter(|(a, b)| a == b)
+            .count();
+        matches as f64 / self.siglen as f64
+    }
+
+    /// Heap bytes used by the signature matrix (for memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.sig.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Generates candidate pairs by banding: the signature is split into
+    /// bands of `bsize` values and rows sharing any band hash are paired.
+    /// Pairs are deduplicated and returned with `i < j`. Rows whose band is
+    /// entirely `u64::MAX` (empty rows) are skipped.
+    pub fn candidate_pairs(&self, bsize: usize) -> Vec<(usize, usize)> {
+        let bsize = bsize.clamp(1, self.siglen.max(1));
+        let nbands = if self.siglen == 0 { 0 } else { self.siglen / bsize };
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for band in 0..nbands {
+            buckets.clear();
+            for r in 0..self.nrows {
+                let slice = &self.row(r)[band * bsize..(band + 1) * bsize];
+                if slice.iter().all(|&v| v == u64::MAX) {
+                    continue;
+                }
+                // FNV-style fold of the band values.
+                let mut h = 0xcbf29ce484222325u64 ^ (band as u64);
+                for &v in slice {
+                    h = (h ^ v).wrapping_mul(0x100000001b3);
+                }
+                buckets.entry(h).or_default().push(r);
+            }
+            for rows in buckets.values() {
+                for (ai, &i) in rows.iter().enumerate() {
+                    for &j in &rows[ai + 1..] {
+                        pairs.push((i.min(j), i.max(j)));
+                    }
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootes_sparse::CooMatrix;
+
+    fn matrix_with_identical_and_disjoint_rows() -> CsrMatrix {
+        let mut coo = CooMatrix::new(4, 40);
+        // Rows 0 and 1 identical; row 2 disjoint; row 3 empty.
+        for c in 0..10 {
+            coo.push(0, c, 1.0).unwrap();
+            coo.push(1, c, 1.0).unwrap();
+            coo.push(2, c + 20, 1.0).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn identical_rows_have_identical_signatures() {
+        let a = matrix_with_identical_and_disjoint_rows();
+        let s = MinHashSignatures::compute(&a, 16, 1);
+        assert_eq!(s.row(0), s.row(1));
+        assert_eq!(s.estimate_jaccard(0, 1), 1.0);
+    }
+
+    #[test]
+    fn disjoint_rows_have_low_estimate() {
+        let a = matrix_with_identical_and_disjoint_rows();
+        let s = MinHashSignatures::compute(&a, 32, 1);
+        assert!(s.estimate_jaccard(0, 2) < 0.3);
+    }
+
+    #[test]
+    fn candidates_include_identical_pairs_and_skip_empty_rows() {
+        let a = matrix_with_identical_and_disjoint_rows();
+        let s = MinHashSignatures::compute(&a, 16, 1);
+        let pairs = s.candidate_pairs(4);
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.iter().all(|&(i, j)| i != 3 && j != 3));
+    }
+
+    #[test]
+    fn jaccard_estimate_tracks_truth() {
+        // Rows overlapping in half their columns -> jaccard 1/3.
+        let mut coo = CooMatrix::new(2, 100);
+        for c in 0..50 {
+            coo.push(0, c, 1.0).unwrap();
+            coo.push(1, c + 25, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let s = MinHashSignatures::compute(&a, 256, 3);
+        let est = s.estimate_jaccard(0, 1);
+        assert!((est - 1.0 / 3.0).abs() < 0.12, "estimate {est}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = matrix_with_identical_and_disjoint_rows();
+        let s1 = MinHashSignatures::compute(&a, 8, 42);
+        let s2 = MinHashSignatures::compute(&a, 8, 42);
+        assert_eq!(s1.row(0), s2.row(0));
+        let s3 = MinHashSignatures::compute(&a, 8, 43);
+        assert_ne!(s1.row(0), s3.row(0));
+    }
+
+    #[test]
+    fn empty_matrix_yields_no_candidates() {
+        let a = CsrMatrix::zeros(3, 3);
+        let s = MinHashSignatures::compute(&a, 8, 0);
+        assert!(s.candidate_pairs(2).is_empty());
+    }
+}

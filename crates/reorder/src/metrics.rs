@@ -1,0 +1,137 @@
+//! Preprocessing-cost instrumentation.
+//!
+//! The paper's Figure 5 reports, per reordering algorithm, the wall-clock
+//! preprocessing time and the *memory footprint* — "the minimum memory
+//! allocation needed to avoid out-of-memory errors". Profiling a live
+//! allocator is nondeterministic, so each algorithm in this workspace
+//! explicitly accounts the bytes of its dominant data structures through a
+//! [`MemTracker`]: `alloc` when a structure is built, `free` when it is
+//! dropped, and the tracker records the high-water mark.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Explicit byte accounting with a high-water mark.
+///
+/// # Example
+///
+/// ```
+/// use bootes_reorder::MemTracker;
+///
+/// let mut mem = MemTracker::new();
+/// mem.alloc(1000);
+/// mem.alloc(500);
+/// mem.free(1000);
+/// mem.alloc(200);
+/// assert_eq!(mem.peak_bytes(), 1500);
+/// assert_eq!(mem.current_bytes(), 700);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemTracker {
+    current: usize,
+    peak: usize,
+}
+
+impl MemTracker {
+    /// Creates a tracker with zero usage.
+    pub fn new() -> Self {
+        MemTracker::default()
+    }
+
+    /// Records an allocation of `bytes`.
+    pub fn alloc(&mut self, bytes: usize) {
+        self.current += bytes;
+        if self.current > self.peak {
+            self.peak = self.current;
+        }
+    }
+
+    /// Records a release of `bytes`. Saturates at zero rather than
+    /// panicking, so mismatched accounting cannot crash a run.
+    pub fn free(&mut self, bytes: usize) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Currently-accounted bytes.
+    pub fn current_bytes(&self) -> usize {
+        self.current
+    }
+
+    /// High-water mark over the tracker's lifetime.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak
+    }
+}
+
+/// Preprocessing cost metrics attached to every reordering outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReorderStats {
+    /// Wall-clock time of the reordering computation.
+    pub elapsed: Duration,
+    /// Peak explicitly-accounted memory footprint in bytes.
+    pub peak_bytes: usize,
+    /// Algorithm that produced the permutation.
+    pub algorithm: String,
+}
+
+impl ReorderStats {
+    /// Creates stats for an algorithm run.
+    pub fn new(algorithm: &str, elapsed: Duration, peak_bytes: usize) -> Self {
+        ReorderStats {
+            elapsed,
+            peak_bytes,
+            algorithm: algorithm.to_string(),
+        }
+    }
+}
+
+/// Bytes of a `Vec<T>`'s live payload (capacity is implementation noise the
+/// accounting deliberately ignores).
+pub fn vec_bytes<T>(v: &[T]) -> usize {
+    std::mem::size_of_val(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_records_peak() {
+        let mut m = MemTracker::new();
+        m.alloc(10);
+        m.alloc(20);
+        assert_eq!(m.peak_bytes(), 30);
+        m.free(25);
+        assert_eq!(m.current_bytes(), 5);
+        m.alloc(10);
+        assert_eq!(m.peak_bytes(), 30);
+        m.alloc(100);
+        assert_eq!(m.peak_bytes(), 115);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let mut m = MemTracker::new();
+        m.alloc(5);
+        m.free(100);
+        assert_eq!(m.current_bytes(), 0);
+        assert_eq!(m.peak_bytes(), 5);
+    }
+
+    #[test]
+    fn vec_bytes_counts_payload() {
+        let v = vec![0u64; 8];
+        assert_eq!(vec_bytes(&v), 64);
+        let w: Vec<u8> = Vec::new();
+        assert_eq!(vec_bytes(&w), 0);
+    }
+
+    #[test]
+    fn stats_roundtrip_serde() {
+        let s = ReorderStats::new("gamma", Duration::from_millis(12), 4096);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ReorderStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,51 @@
+//! The no-reordering baseline.
+
+use std::time::Instant;
+
+use bootes_sparse::{CsrMatrix, Permutation};
+
+use crate::error::ReorderError;
+use crate::metrics::ReorderStats;
+use crate::{ReorderOutcome, Reorderer};
+
+/// Identity "reordering": rows stay in their original order.
+///
+/// This is the paper's `Original` baseline — the configuration every
+/// speedup in Table 4 is measured against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OriginalOrder;
+
+impl Reorderer for OriginalOrder {
+    fn name(&self) -> &'static str {
+        "original"
+    }
+
+    fn reorder(&self, a: &CsrMatrix) -> Result<ReorderOutcome, ReorderError> {
+        let start = Instant::now();
+        let permutation = Permutation::identity(a.nrows());
+        Ok(ReorderOutcome {
+            stats: ReorderStats::new(self.name(), start.elapsed(), 0),
+            permutation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_permutation() {
+        let a = CsrMatrix::identity(5);
+        let out = OriginalOrder.reorder(&a).unwrap();
+        assert!(out.permutation.is_identity());
+        assert_eq!(out.stats.peak_bytes, 0);
+        assert_eq!(out.stats.algorithm, "original");
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let out = OriginalOrder.reorder(&CsrMatrix::zeros(0, 0)).unwrap();
+        assert!(out.permutation.is_empty());
+    }
+}

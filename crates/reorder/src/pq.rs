@@ -1,0 +1,310 @@
+//! Addressable max-priority queue over dense integer keys.
+//!
+//! Gamma's reordering (Algorithm 1) needs a queue `Q` supporting
+//! `insert(row, priority)`, `incKey`, `decKey`, `remove` and `pop`-max —
+//! a classic indexed binary heap. Ties are broken toward the smaller row
+//! index so runs are deterministic.
+
+/// Indexed binary max-heap keyed by `usize` ids in `0..capacity`.
+///
+/// # Example
+///
+/// ```
+/// use bootes_reorder::pq::IndexedPriorityQueue;
+///
+/// let mut q = IndexedPriorityQueue::new(3);
+/// q.insert(0, 0);
+/// q.insert(1, 0);
+/// q.insert(2, 0);
+/// q.inc_key(2);
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), Some(0)); // tie broken toward the smaller id
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexedPriorityQueue {
+    /// heap[i] = id
+    heap: Vec<usize>,
+    /// pos[id] = Some(index in heap)
+    pos: Vec<Option<usize>>,
+    /// pri[id]
+    pri: Vec<i64>,
+}
+
+impl IndexedPriorityQueue {
+    /// Creates an empty queue able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        IndexedPriorityQueue {
+            heap: Vec::with_capacity(capacity),
+            pos: vec![None; capacity],
+            pri: vec![0; capacity],
+        }
+    }
+
+    /// Number of queued ids.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether `id` is currently queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= capacity`.
+    pub fn contains(&self, id: usize) -> bool {
+        self.pos[id].is_some()
+    }
+
+    /// Current priority of `id` (meaningful only while queued).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= capacity`.
+    pub fn priority(&self, id: usize) -> i64 {
+        self.pri[id]
+    }
+
+    /// Inserts `id` with the given priority. No-op if already queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= capacity`.
+    pub fn insert(&mut self, id: usize, priority: i64) {
+        if self.pos[id].is_some() {
+            return;
+        }
+        self.pri[id] = priority;
+        self.pos[id] = Some(self.heap.len());
+        self.heap.push(id);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Removes and returns the id with the highest priority (ties toward the
+    /// smallest id), or `None` if empty.
+    pub fn pop(&mut self) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.remove(top);
+        Some(top)
+    }
+
+    /// Removes `id` from the queue. No-op if not queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= capacity`.
+    pub fn remove(&mut self, id: usize) {
+        let Some(idx) = self.pos[id] else {
+            return;
+        };
+        let last = self.heap.len() - 1;
+        self.heap.swap(idx, last);
+        if idx != last {
+            self.pos[self.heap[idx]] = Some(idx);
+        }
+        self.heap.pop();
+        self.pos[id] = None;
+        if idx < self.heap.len() {
+            self.sift_down(idx);
+            self.sift_up(idx);
+        }
+    }
+
+    /// Increments the priority of a queued `id` by one. No-op if not queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= capacity`.
+    pub fn inc_key(&mut self, id: usize) {
+        if let Some(idx) = self.pos[id] {
+            self.pri[id] += 1;
+            self.sift_up(idx);
+        }
+    }
+
+    /// Decrements the priority of a queued `id` by one. No-op if not queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= capacity`.
+    pub fn dec_key(&mut self, id: usize) {
+        if let Some(idx) = self.pos[id] {
+            self.pri[id] -= 1;
+            self.sift_down(idx);
+        }
+    }
+
+    /// Approximate heap footprint in bytes (for memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.pos.len() * (std::mem::size_of::<Option<usize>>() + std::mem::size_of::<i64>())
+            + self.heap.len() * std::mem::size_of::<usize>()
+    }
+
+    /// `true` if `a` should sit above `b` in the max-heap.
+    fn before(&self, a: usize, b: usize) -> bool {
+        (self.pri[a], std::cmp::Reverse(a)) > (self.pri[b], std::cmp::Reverse(b))
+    }
+
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            if self.before(self.heap[idx], self.heap[parent]) {
+                self.heap.swap(idx, parent);
+                self.pos[self.heap[idx]] = Some(idx);
+                self.pos[self.heap[parent]] = Some(parent);
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut idx: usize) {
+        loop {
+            let l = 2 * idx + 1;
+            let r = 2 * idx + 2;
+            let mut best = idx;
+            if l < self.heap.len() && self.before(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.before(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == idx {
+                break;
+            }
+            self.heap.swap(idx, best);
+            self.pos[self.heap[idx]] = Some(idx);
+            self.pos[self.heap[best]] = Some(best);
+            idx = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_order_respects_priority_and_ties() {
+        let mut q = IndexedPriorityQueue::new(4);
+        for id in 0..4 {
+            q.insert(id, 0);
+        }
+        q.inc_key(3);
+        q.inc_key(3);
+        q.inc_key(1);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn remove_keeps_heap_valid() {
+        let mut q = IndexedPriorityQueue::new(6);
+        for id in 0..6 {
+            q.insert(id, id as i64);
+        }
+        q.remove(5);
+        q.remove(0);
+        assert!(!q.contains(5));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn dec_key_reorders() {
+        let mut q = IndexedPriorityQueue::new(3);
+        q.insert(0, 5);
+        q.insert(1, 4);
+        q.insert(2, 3);
+        q.dec_key(0);
+        q.dec_key(0);
+        q.dec_key(0); // 0 now has priority 2
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut q = IndexedPriorityQueue::new(2);
+        q.insert(0, 1);
+        q.insert(0, 99);
+        assert_eq!(q.priority(0), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn ops_on_missing_ids_are_noops() {
+        let mut q = IndexedPriorityQueue::new(3);
+        q.inc_key(1);
+        q.dec_key(1);
+        q.remove(1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn randomized_against_reference() {
+        // Drive the queue with a deterministic op sequence and mirror it in a
+        // naive reference implementation.
+        let n = 32;
+        let mut q = IndexedPriorityQueue::new(n);
+        let mut reference: Vec<Option<i64>> = vec![None; n];
+        let mut state = 0xDEADBEEFu64;
+        let mut next = |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % m) as usize
+        };
+        for _ in 0..2000 {
+            let id = next(n as u64);
+            match next(5) {
+                0 => {
+                    if reference[id].is_none() {
+                        let p = next(10) as i64;
+                        q.insert(id, p);
+                        reference[id] = Some(p);
+                    }
+                }
+                1 => {
+                    if let Some(p) = reference[id].as_mut() {
+                        *p += 1;
+                    }
+                    q.inc_key(id);
+                }
+                2 => {
+                    if let Some(p) = reference[id].as_mut() {
+                        *p -= 1;
+                    }
+                    q.dec_key(id);
+                }
+                3 => {
+                    q.remove(id);
+                    reference[id] = None;
+                }
+                _ => {
+                    let expected = reference
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, p)| p.map(|p| (p, std::cmp::Reverse(i))))
+                        .max()
+                        .map(|(_, std::cmp::Reverse(i))| i);
+                    assert_eq!(q.pop(), expected);
+                    if let Some(i) = expected {
+                        reference[i] = None;
+                    }
+                }
+            }
+            assert_eq!(q.len(), reference.iter().filter(|p| p.is_some()).count());
+        }
+    }
+}

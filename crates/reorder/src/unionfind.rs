@@ -1,0 +1,166 @@
+//! Union-find (disjoint set) with size tracking and cluster freezing.
+//!
+//! Backs the Hier baseline (Algorithm 3): clusters are merged
+//! smaller-into-larger, and a cluster whose size crosses `threshold_size` is
+//! *frozen* — it stops participating in further merges, mirroring the
+//! paper's "delete the cluster" step.
+
+/// Disjoint-set forest over `0..n` with union-by-size, path halving, and a
+/// per-set frozen flag.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    frozen: Vec<bool>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            frozen: vec![false; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of the set containing `x` (with path halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn root(&mut self, x: usize) -> usize {
+        let mut i = x;
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.root(x);
+        self.size[r]
+    }
+
+    /// Whether the set containing `x` is frozen.
+    pub fn is_frozen(&mut self, x: usize) -> bool {
+        let r = self.root(x);
+        self.frozen[r]
+    }
+
+    /// Freezes the set containing `x`, excluding it from future unions.
+    pub fn freeze(&mut self, x: usize) {
+        let r = self.root(x);
+        self.frozen[r] = true;
+    }
+
+    /// Merges the sets containing `a` and `b` (smaller into larger; ties keep
+    /// the smaller representative index, matching the paper's representative
+    /// selection rule). Returns the new root, or `None` if the sets are equal
+    /// or either is frozen.
+    pub fn union(&mut self, a: usize, b: usize) -> Option<usize> {
+        let ra = self.root(a);
+        let rb = self.root(b);
+        if ra == rb || self.frozen[ra] || self.frozen[rb] {
+            return None;
+        }
+        let (big, small) = match self.size[ra].cmp(&self.size[rb]) {
+            std::cmp::Ordering::Greater => (ra, rb),
+            std::cmp::Ordering::Less => (rb, ra),
+            std::cmp::Ordering::Equal => (ra.min(rb), ra.max(rb)),
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        Some(big)
+    }
+
+    /// Groups all elements by representative, returning the members of each
+    /// set ordered by element index, with the groups ordered by their
+    /// smallest member.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for x in 0..n {
+            let r = self.root(x);
+            by_root[r].push(x);
+        }
+        by_root.into_iter().filter(|g| !g.is_empty()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_root() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1).is_some());
+        assert!(uf.union(1, 2).is_some());
+        assert_eq!(uf.root(0), uf.root(2));
+        assert_ne!(uf.root(0), uf.root(3));
+        assert_eq!(uf.set_size(2), 3);
+        assert!(uf.union(0, 2).is_none());
+    }
+
+    #[test]
+    fn smaller_merges_into_larger() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(0, 2); // set {0,1,2}
+        let r = uf.union(3, 0).unwrap();
+        assert_eq!(r, uf.root(1));
+        assert_eq!(uf.set_size(3), 4);
+    }
+
+    #[test]
+    fn equal_size_ties_keep_smaller_representative() {
+        let mut uf = UnionFind::new(4);
+        uf.union(2, 3);
+        uf.union(0, 1);
+        let r = uf.union(2, 0).unwrap();
+        assert_eq!(r, uf.root(0).min(uf.root(2)));
+    }
+
+    #[test]
+    fn frozen_sets_do_not_merge() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.freeze(0);
+        assert!(uf.is_frozen(1));
+        assert!(uf.union(1, 2).is_none());
+        assert!(uf.union(2, 3).is_some());
+    }
+
+    #[test]
+    fn groups_partition_everything() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 3);
+        uf.union(4, 5);
+        let groups = uf.groups();
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 6);
+        assert!(groups.contains(&vec![0, 3]));
+        assert!(groups.contains(&vec![4, 5]));
+        assert!(groups.contains(&vec![1]));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert!(uf.groups().is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Compressed sparse column matrices.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+
+/// A sparse matrix in Compressed Sparse Column format.
+///
+/// CSC gives O(1) access to the row coordinates of a column, which the Gamma
+/// (Algorithm 1, line 9: "for r in row coords of column u") and Graph
+/// (Algorithm 2, line 7) reordering baselines rely on.
+///
+/// The invariants mirror [`CsrMatrix`] with rows and columns swapped.
+///
+/// # Example
+///
+/// ```
+/// use bootes_sparse::CsrMatrix;
+///
+/// # fn main() -> Result<(), bootes_sparse::SparseError> {
+/// let a = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 1], vec![5.0, 6.0])?;
+/// let csc = a.to_csc();
+/// assert_eq!(csc.col(1), (&[0usize, 1][..], &[5.0, 6.0][..]));
+/// assert_eq!(csc.col(0), (&[][..], &[][..]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from raw arrays, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] if the arrays violate the
+    /// CSC invariants (column-pointer length/monotonicity, sorted in-range
+    /// row indices).
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        // Validate by reusing the CSR validator on the transposed view.
+        CsrMatrix::try_new(ncols, nrows, indptr, indices, values).map(|m| {
+            let (indptr, indices, values) = m.into_raw();
+            CscMatrix {
+                nrows,
+                ncols,
+                indptr,
+                indices,
+                values,
+            }
+        })
+    }
+
+    pub(crate) fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), ncols + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        CscMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The column-pointer array (`ncols + 1` entries).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// The row-index array.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// The value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The row indices and values of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= ncols`.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.indptr[j];
+        let hi = self.indptr[j + 1];
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= ncols`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.indptr[j + 1] - self.indptr[j]
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let (indptr, indices, values) = crate::ops::transpose::transpose_raw(
+            self.ncols,
+            self.nrows,
+            &self.indptr,
+            &self.indices,
+            &self.values,
+        );
+        CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, indptr, indices, values)
+    }
+
+    /// Approximate heap footprint of this matrix in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> CsrMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        CsrMatrix::try_new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn csr_to_csc_roundtrip() {
+        let a = sample_csr();
+        let csc = a.to_csc();
+        assert_eq!(csc.shape(), (2, 3));
+        assert_eq!(csc.nnz(), 3);
+        assert_eq!(csc.to_csr(), a);
+    }
+
+    #[test]
+    fn col_access() {
+        let csc = sample_csr().to_csc();
+        assert_eq!(csc.col(0), (&[0usize][..], &[1.0][..]));
+        assert_eq!(csc.col(1), (&[1usize][..], &[3.0][..]));
+        assert_eq!(csc.col(2), (&[0usize][..], &[2.0][..]));
+        assert_eq!(csc.col_nnz(2), 1);
+    }
+
+    #[test]
+    fn try_new_validates() {
+        // row index out of range
+        let e = CscMatrix::try_new(2, 1, vec![0, 1], vec![5], vec![1.0]);
+        assert!(e.is_err());
+        let ok = CscMatrix::try_new(2, 1, vec![0, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn empty_columns() {
+        let a = CsrMatrix::zeros(3, 4);
+        let csc = a.to_csc();
+        for j in 0..4 {
+            assert_eq!(csc.col_nnz(j), 0);
+        }
+    }
+}

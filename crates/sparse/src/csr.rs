@@ -1,0 +1,489 @@
+//! Compressed sparse row matrices.
+
+use crate::csc::CscMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::SparseError;
+
+/// A sparse matrix in Compressed Sparse Row format.
+///
+/// This is the canonical format used throughout the Bootes pipeline: the input
+/// matrix `A`, the binary similarity matrix `A·Aᵀ`, and the normalized
+/// Laplacian are all held in CSR (paper §3.1.2 calls this out as the key
+/// memory-footprint optimization).
+///
+/// # Invariants
+///
+/// - `indptr.len() == nrows + 1`, `indptr[0] == 0`,
+///   `indptr[nrows] == indices.len() == values.len()`,
+/// - `indptr` is non-decreasing,
+/// - within each row, column indices are strictly increasing and `< ncols`.
+///
+/// Constructors validate these invariants ([`CsrMatrix::try_new`]) or are
+/// restricted to crate-internal callers that uphold them by construction.
+///
+/// # Example
+///
+/// ```
+/// use bootes_sparse::CsrMatrix;
+///
+/// # fn main() -> Result<(), bootes_sparse::SparseError> {
+/// let a = CsrMatrix::try_new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])?;
+/// assert_eq!(a.nnz(), 3);
+/// assert_eq!(a.row(0), (&[0usize, 2][..], &[1.0, 2.0][..]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw arrays, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] if the arrays violate any
+    /// CSR invariant (see type-level docs).
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if indptr.len() != nrows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "indptr length {} != nrows + 1 = {}",
+                indptr.len(),
+                nrows + 1
+            )));
+        }
+        if indptr[0] != 0 {
+            return Err(SparseError::InvalidStructure(
+                "indptr[0] must be 0".to_string(),
+            ));
+        }
+        if *indptr.last().expect("indptr nonempty") != indices.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "indptr[last] = {} != indices.len() = {}",
+                indptr.last().unwrap(),
+                indices.len()
+            )));
+        }
+        if indices.len() != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "indices.len() = {} != values.len() = {}",
+                indices.len(),
+                values.len()
+            )));
+        }
+        for w in indptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(SparseError::InvalidStructure(
+                    "indptr must be non-decreasing".to_string(),
+                ));
+            }
+        }
+        for r in 0..nrows {
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for (i, &c) in row.iter().enumerate() {
+                if c >= ncols {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "column index {c} >= ncols {ncols} in row {r}"
+                    )));
+                }
+                if i > 0 && row[i - 1] >= c {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "column indices not strictly increasing in row {r}"
+                    )));
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Builds a CSR matrix from arrays known to satisfy the invariants.
+    ///
+    /// Only for callers (in this workspace) that construct the arrays in
+    /// sorted, validated form; the invariants are checked with
+    /// `debug_assert!` in debug builds.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), nrows + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert_eq!(*indptr.last().unwrap_or(&0), indices.len());
+        debug_assert!(indices.iter().all(|&c| c < ncols));
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Creates an `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Creates an empty (all-zero) matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an `n x n` diagonal matrix from the given diagonal values.
+    /// Exact zeros on the diagonal are stored (callers may rely on the
+    /// pattern), keeping the structure predictable.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: diag.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The row-pointer array (`nrows + 1` entries).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// The column-index array.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// The value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the value array (the pattern stays fixed).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The column indices and values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// The value at `(i, j)`, or `0.0` if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Returns a copy with every stored value replaced by `1.0`.
+    ///
+    /// This is Algorithm 4 line 11 of the paper (`A.data ← 1`): the binary
+    /// pattern whose product with its transpose counts shared column
+    /// coordinates.
+    pub fn to_binary(&self) -> CsrMatrix {
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: vec![1.0; self.indices.len()],
+        }
+    }
+
+    /// Converts to compressed sparse column format.
+    pub fn to_csc(&self) -> CscMatrix {
+        let (indptr, indices, values) =
+            crate::ops::transpose::transpose_raw(self.nrows, self.ncols, &self.indptr, &self.indices, &self.values);
+        CscMatrix::from_parts_unchecked(self.nrows, self.ncols, indptr, indices, values)
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let (indptr, indices, values) =
+            crate::ops::transpose::transpose_raw(self.nrows, self.ncols, &self.indptr, &self.indices, &self.values);
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Converts to a dense matrix (for tests and small reference computations).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            d[(r, c)] = v;
+        }
+        d
+    }
+
+    /// Computes `y = self * x` for a dense vector `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, SparseError> {
+        if x.len() != self.ncols {
+            return Err(SparseError::DimensionMismatch {
+                left: (self.nrows, self.ncols),
+                right: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.nrows];
+        self.matvec_into(x, &mut y);
+        Ok(y)
+    }
+
+    /// Computes `y = self * x` into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec input length");
+        assert_eq!(y.len(), self.nrows, "matvec output length");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for idx in self.indptr[r]..self.indptr[r + 1] {
+                acc += self.values[idx] * x[self.indices[idx]];
+            }
+            *yr = acc;
+        }
+    }
+
+    /// Per-row sums (the degree array of a similarity matrix, Alg. 4 line 4).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.nrows)
+            .map(|r| self.row(r).1.iter().sum())
+            .collect()
+    }
+
+    /// Approximate heap footprint of this matrix in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Decomposes the matrix into `(indptr, indices, values)` without copying.
+    pub fn into_raw(self) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+        (self.indptr, self.indices, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        CsrMatrix::try_new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let a = sample();
+        assert_eq!(a.shape(), (2, 3));
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.get(1, 1), 3.0);
+        assert_eq!(a.row_nnz(0), 2);
+        assert_eq!(a.row_nnz(1), 1);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_indptr_length() {
+        let e = CsrMatrix::try_new(2, 2, vec![0, 1], vec![0], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn try_new_rejects_decreasing_indptr() {
+        let e = CsrMatrix::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+        assert!(matches!(e, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn try_new_rejects_unsorted_columns() {
+        let e = CsrMatrix::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+        assert!(matches!(e, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn try_new_rejects_duplicate_columns() {
+        let e = CsrMatrix::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
+        assert!(matches!(e, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_column() {
+        let e = CsrMatrix::try_new(1, 2, vec![0, 1], vec![2], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn try_new_rejects_mismatched_values() {
+        let e = CsrMatrix::try_new(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]);
+        assert!(matches!(e, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let i = CsrMatrix::identity(3);
+        assert_eq!(i.nnz(), 3);
+        assert_eq!(i.get(2, 2), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        let d = CsrMatrix::from_diagonal(&[2.0, 0.0, 5.0]);
+        assert_eq!(d.nnz(), 3);
+        assert_eq!(d.get(1, 1), 0.0);
+        assert_eq!(d.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = sample();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn transpose_values() {
+        let a = sample();
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.get(1, 1), 3.0);
+        assert_eq!(t.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let y = a.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn matvec_rejects_bad_length() {
+        let a = sample();
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn binary_pattern() {
+        let a = sample();
+        let b = a.to_binary();
+        assert_eq!(b.values(), &[1.0, 1.0, 1.0]);
+        assert_eq!(b.indices(), a.indices());
+    }
+
+    #[test]
+    fn row_sums_work() {
+        let a = sample();
+        assert_eq!(a.row_sums(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = CsrMatrix::zeros(4, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.shape(), (4, 5));
+        assert_eq!(z.get(3, 4), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_row_major_triplets() {
+        let a = sample();
+        let t: Vec<_> = a.iter().collect();
+        assert_eq!(t, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        assert!(sample().heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared by all sparse-matrix operations.
+
+use std::fmt;
+
+/// Error returned by fallible sparse-matrix constructors and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A row or column index was outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// The offending (row, col) pair.
+        index: (usize, usize),
+        /// The matrix shape the index was checked against.
+        shape: (usize, usize),
+    },
+    /// Inner dimensions of a product did not agree.
+    DimensionMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// Raw CSR/CSC arrays failed structural validation.
+    InvalidStructure(String),
+    /// A permutation array was not a bijection on `0..n`.
+    InvalidPermutation(String),
+    /// A Matrix Market stream could not be parsed.
+    Parse(String),
+    /// An underlying I/O error, carried as a message to keep the type `Clone`.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            SparseError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: {}x{} incompatible with {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SparseError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(err: std::io::Error) -> Self {
+        SparseError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            index: (5, 7),
+            shape: (3, 3),
+        };
+        assert_eq!(e.to_string(), "index (5, 7) out of bounds for 3x3 matrix");
+        let e = SparseError::DimensionMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+    }
+}

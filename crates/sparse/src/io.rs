@@ -1,0 +1,215 @@
+//! Matrix Market (coordinate format) reading and writing.
+//!
+//! The evaluation matrices in the paper come from SuiteSparse/SNAP, which are
+//! distributed as Matrix Market files. This module implements the `%%MatrixMarket
+//! matrix coordinate <field> <symmetry>` subset needed to load such files:
+//! fields `real`, `integer` and `pattern`; symmetries `general` and
+//! `symmetric`.
+
+use std::io::{BufRead, Write};
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+
+/// Reads a sparse matrix from a Matrix Market coordinate stream.
+///
+/// Symmetric files are expanded to full storage (the mirrored entry is added
+/// for every off-diagonal nonzero). `pattern` files store value `1.0`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Parse`] for malformed headers, counts or entries,
+/// and [`SparseError::Io`] for underlying read failures.
+///
+/// # Example
+///
+/// ```
+/// use bootes_sparse::io::read_matrix_market;
+///
+/// # fn main() -> Result<(), bootes_sparse::SparseError> {
+/// let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.5\n2 2 -1\n";
+/// let m = read_matrix_market(text.as_bytes())?;
+/// assert_eq!(m.get(0, 0), 3.5);
+/// assert_eq!(m.get(1, 1), -1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_matrix_market<R: BufRead>(mut reader: R) -> Result<CsrMatrix, SparseError> {
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let header = header.trim().to_ascii_lowercase();
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(SparseError::Parse(format!(
+            "unsupported matrix market header: {header:?}"
+        )));
+    }
+    if fields[2] != "coordinate" {
+        return Err(SparseError::Parse(
+            "only coordinate format is supported".to_string(),
+        ));
+    }
+    let field = fields[3];
+    if !matches!(field, "real" | "integer" | "pattern") {
+        return Err(SparseError::Parse(format!("unsupported field: {field}")));
+    }
+    let symmetry = fields[4];
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(SparseError::Parse(format!(
+            "unsupported symmetry: {symmetry}"
+        )));
+    }
+
+    // Skip comment lines, then read the size line.
+    let mut line = String::new();
+    let size_line = loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(SparseError::Parse("missing size line".to_string()));
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        break trimmed.to_string();
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| SparseError::Parse(format!("bad size entry {t:?}: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse(format!(
+            "size line must have 3 entries, got {size_line:?}"
+        )));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
+    let mut seen = 0usize;
+    while seen < nnz {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(SparseError::Parse(format!(
+                "expected {nnz} entries, found {seen}"
+            )));
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        let r: usize = toks
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing row index".to_string()))?
+            .parse()
+            .map_err(|e| SparseError::Parse(format!("bad row index: {e}")))?;
+        let c: usize = toks
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing col index".to_string()))?
+            .parse()
+            .map_err(|e| SparseError::Parse(format!("bad col index: {e}")))?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse(
+                "matrix market indices are 1-based; found 0".to_string(),
+            ));
+        }
+        let v: f64 = match field {
+            "pattern" => 1.0,
+            _ => toks
+                .next()
+                .ok_or_else(|| SparseError::Parse("missing value".to_string()))?
+                .parse()
+                .map_err(|e| SparseError::Parse(format!("bad value: {e}")))?,
+        };
+        coo.push(r - 1, c - 1, v)?;
+        if symmetry == "symmetric" && r != c {
+            coo.push(c - 1, r - 1, v)?;
+        }
+        seen += 1;
+    }
+    Ok(coo.to_csr())
+}
+
+/// Writes a matrix in Matrix Market `coordinate real general` format.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Io`] if writing fails.
+pub fn write_matrix_market<W: Write>(mut writer: W, m: &CsrMatrix) -> Result<(), SparseError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_general() {
+        let a = CsrMatrix::try_new(
+            3,
+            2,
+            vec![0, 1, 1, 3],
+            vec![1, 0, 1],
+            vec![2.5, -1.0, 4.0],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_files_are_expanded() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(2, 2), 1.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn pattern_files_store_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n\n2 2 1\n% another\n1 1 7\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("garbage\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_entries() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+}

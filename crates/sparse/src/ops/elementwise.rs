@@ -1,0 +1,218 @@
+//! Element-wise sparse operations: addition, subtraction, scaling, and
+//! sparse-times-dense products (SpMM).
+//!
+//! These round out the substrate for downstream users (iterative solvers,
+//! residual computations in tests, dense-embedding products).
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::SparseError;
+
+/// Computes `alpha * a + beta * b` for same-shaped sparse matrices.
+/// Entries that cancel to exactly `0.0` are dropped.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if the shapes differ.
+///
+/// # Example
+///
+/// ```
+/// use bootes_sparse::{CsrMatrix, ops::add_scaled};
+///
+/// # fn main() -> Result<(), bootes_sparse::SparseError> {
+/// let i = CsrMatrix::identity(3);
+/// let two_i = add_scaled(1.0, &i, 1.0, &i)?;
+/// assert_eq!(two_i.get(1, 1), 2.0);
+/// let zero = add_scaled(1.0, &i, -1.0, &i)?;
+/// assert_eq!(zero.nnz(), 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn add_scaled(
+    alpha: f64,
+    a: &CsrMatrix,
+    beta: f64,
+    b: &CsrMatrix,
+) -> Result<CsrMatrix, SparseError> {
+    if a.shape() != b.shape() {
+        return Err(SparseError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut values = Vec::with_capacity(a.nnz() + b.nnz());
+    indptr.push(0);
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        // Merge the two sorted rows.
+        while i < ac.len() || j < bc.len() {
+            let (col, val) = if j >= bc.len() || (i < ac.len() && ac[i] < bc[j]) {
+                let out = (ac[i], alpha * av[i]);
+                i += 1;
+                out
+            } else if i >= ac.len() || bc[j] < ac[i] {
+                let out = (bc[j], beta * bv[j]);
+                j += 1;
+                out
+            } else {
+                let out = (ac[i], alpha * av[i] + beta * bv[j]);
+                i += 1;
+                j += 1;
+                out
+            };
+            if val != 0.0 {
+                indices.push(col);
+                values.push(val);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        indptr,
+        indices,
+        values,
+    ))
+}
+
+/// Returns `a` with every stored value multiplied by `alpha` (dropping all
+/// entries when `alpha == 0`).
+pub fn scale(alpha: f64, a: &CsrMatrix) -> CsrMatrix {
+    if alpha == 0.0 {
+        return CsrMatrix::zeros(a.nrows(), a.ncols());
+    }
+    let mut out = a.clone();
+    for v in out.values_mut() {
+        *v *= alpha;
+    }
+    out
+}
+
+/// Sparse-matrix times dense-matrix product `C = A · X` (SpMM).
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.ncols() != x.nrows()`.
+pub fn spmm(a: &CsrMatrix, x: &DenseMatrix) -> Result<DenseMatrix, SparseError> {
+    if a.ncols() != x.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            left: a.shape(),
+            right: (x.nrows(), x.ncols()),
+        });
+    }
+    let mut out = DenseMatrix::zeros(a.nrows(), x.ncols());
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        for (&k, &v) in cols.iter().zip(vals) {
+            let src = x.row(k);
+            let dst = out.row_mut(r);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += v * s;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Frobenius norm of a sparse matrix.
+pub fn frobenius_norm(a: &CsrMatrix) -> f64 {
+    a.values().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample(seed: u64, nrows: usize, ncols: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(nrows, ncols);
+        let mut state = seed;
+        for r in 0..nrows {
+            for _ in 0..3 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                let c = ((state >> 33) % ncols as u64) as usize;
+                let v = ((state >> 11) % 9) as f64 - 4.0;
+                if v != 0.0 {
+                    coo.push(r, c, v).ok();
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn add_matches_dense() {
+        let a = sample(1, 10, 8);
+        let b = sample(2, 10, 8);
+        let c = add_scaled(2.0, &a, -3.0, &b).unwrap();
+        for i in 0..10 {
+            for j in 0..8 {
+                let expect = 2.0 * a.get(i, j) - 3.0 * b.get(i, j);
+                assert!((c.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn add_drops_cancellations() {
+        let a = sample(3, 6, 6);
+        let z = add_scaled(1.0, &a, -1.0, &a).unwrap();
+        assert_eq!(z.nnz(), 0);
+    }
+
+    #[test]
+    fn add_rejects_shape_mismatch() {
+        let a = CsrMatrix::zeros(2, 3);
+        let b = CsrMatrix::zeros(3, 2);
+        assert!(add_scaled(1.0, &a, 1.0, &b).is_err());
+    }
+
+    #[test]
+    fn scale_behaviour() {
+        let a = sample(4, 5, 5);
+        let doubled = scale(2.0, &a);
+        assert_eq!(doubled.nnz(), a.nnz());
+        assert_eq!(doubled.get(0, 0), 2.0 * a.get(0, 0));
+        let zero = scale(0.0, &a);
+        assert_eq!(zero.nnz(), 0);
+    }
+
+    #[test]
+    fn spmm_matches_matvec_per_column() {
+        let a = sample(5, 7, 6);
+        let mut x = DenseMatrix::zeros(6, 3);
+        for i in 0..6 {
+            for j in 0..3 {
+                x[(i, j)] = (i * 3 + j) as f64 * 0.5 - 2.0;
+            }
+        }
+        let c = spmm(&a, &x).unwrap();
+        for j in 0..3 {
+            let col: Vec<f64> = (0..6).map(|i| x[(i, j)]).collect();
+            let y = a.matvec(&col).unwrap();
+            for i in 0..7 {
+                assert!((c[(i, j)] - y[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_rejects_mismatch() {
+        let a = CsrMatrix::zeros(4, 5);
+        let x = DenseMatrix::zeros(4, 2);
+        assert!(spmm(&a, &x).is_err());
+    }
+
+    #[test]
+    fn frobenius() {
+        let a = CsrMatrix::from_diagonal(&[3.0, 4.0]);
+        assert!((frobenius_norm(&a) - 5.0).abs() < 1e-12);
+        assert_eq!(frobenius_norm(&CsrMatrix::zeros(3, 3)), 0.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Sparse kernels: SpGEMM dataflows, transposition, similarity products.
+
+pub mod block;
+pub mod elementwise;
+pub mod similarity;
+pub mod spgemm;
+pub mod transpose;
+
+pub use block::{block_spgemm, BlockSparseMatrix};
+pub use elementwise::{add_scaled, frobenius_norm, scale, spmm};
+pub use similarity::{similarity_matrix, similarity_matrix_csc};
+pub use spgemm::{spgemm, spgemm_hash, spgemm_flops, DataflowCost, dataflow_costs};

@@ -1,0 +1,150 @@
+//! The binary row-similarity product `S = Ā · Āᵀ`.
+//!
+//! With `Ā` the 0/1 pattern of `A`, entry `S[i][j]` counts the column
+//! coordinates rows `i` and `j` share — exactly the similarity measure
+//! Algorithm 4 (lines 11–12) of the paper builds before the Laplacian.
+//! The product is computed row-wise against the CSC view of `A` (which *is*
+//! `Āᵀ` in CSR layout), costing `O(Σ_j d_j²)` where `d_j` is the number of
+//! nonzeros in column `j` (Table 2).
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+
+/// Computes the similarity matrix `S = pattern(A) · pattern(A)ᵀ` in CSR form.
+///
+/// `S` is symmetric, has `nrows x nrows` shape, and its diagonal holds each
+/// row's nonzero count. The result contains no explicit zeros.
+///
+/// # Example
+///
+/// ```
+/// use bootes_sparse::{CsrMatrix, ops::similarity_matrix};
+///
+/// # fn main() -> Result<(), bootes_sparse::SparseError> {
+/// // rows 0 and 1 share column 1; row 2 shares nothing.
+/// let a = CsrMatrix::try_new(
+///     3, 3,
+///     vec![0, 2, 3, 4],
+///     vec![0, 1, 1, 2],
+///     vec![9.0, 8.0, 7.0, 6.0],
+/// )?;
+/// let s = similarity_matrix(&a);
+/// assert_eq!(s.get(0, 1), 1.0);
+/// assert_eq!(s.get(0, 0), 2.0);
+/// assert_eq!(s.get(0, 2), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn similarity_matrix(a: &CsrMatrix) -> CsrMatrix {
+    similarity_matrix_csc(a, &a.to_csc())
+}
+
+/// Like [`similarity_matrix`] but reuses a precomputed CSC view of `a`,
+/// avoiding a second transposition when the caller already has one.
+pub fn similarity_matrix_csc(a: &CsrMatrix, a_csc: &CscMatrix) -> CsrMatrix {
+    debug_assert_eq!(a.shape(), a_csc.shape(), "csc view shape mismatch");
+    let n = a.nrows();
+    let mut acc = vec![0u32; n];
+    let mut touched: Vec<usize> = Vec::new();
+
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut indices: Vec<usize> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    indptr.push(0);
+
+    for i in 0..n {
+        let (cols, _) = a.row(i);
+        for &k in cols {
+            // Row i of S accumulates 1 for every row that also has column k.
+            let (rows, _) = a_csc.col(k);
+            for &j in rows {
+                if acc[j] == 0 {
+                    touched.push(j);
+                }
+                acc[j] += 1;
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            indices.push(j);
+            values.push(acc[j] as f64);
+            acc[j] = 0;
+        }
+        touched.clear();
+        indptr.push(indices.len());
+    }
+    CsrMatrix::from_parts_unchecked(n, n, indptr, indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::spgemm::spgemm;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::try_new(
+            4,
+            5,
+            vec![0, 3, 5, 7, 8],
+            vec![0, 2, 4, 0, 2, 1, 3, 4],
+            vec![5.0, -1.0, 2.0, 3.0, 3.0, 1.0, 1.0, 9.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_explicit_binary_spgemm() {
+        let a = sample();
+        let s = similarity_matrix(&a);
+        let bin = a.to_binary();
+        let reference = spgemm(&bin, &bin.transpose()).unwrap();
+        assert_eq!(s, reference);
+    }
+
+    #[test]
+    fn diagonal_is_row_nnz() {
+        let a = sample();
+        let s = similarity_matrix(&a);
+        for i in 0..a.nrows() {
+            assert_eq!(s.get(i, i), a.row_nnz(i) as f64);
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = sample();
+        let s = similarity_matrix(&a);
+        for i in 0..s.nrows() {
+            for j in 0..s.ncols() {
+                assert_eq!(s.get(i, j), s.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn values_ignore_magnitudes() {
+        // Same pattern with different values must give the same similarity.
+        let a = sample();
+        let mut b = a.clone();
+        for v in b.values_mut() {
+            *v *= 100.0;
+        }
+        assert_eq!(similarity_matrix(&a), similarity_matrix(&b));
+    }
+
+    #[test]
+    fn disjoint_rows_have_zero_similarity() {
+        let a = CsrMatrix::try_new(2, 4, vec![0, 2, 4], vec![0, 1, 2, 3], vec![1.0; 4]).unwrap();
+        let s = similarity_matrix(&a);
+        assert_eq!(s.get(0, 1), 0.0);
+        assert_eq!(s.nnz(), 2); // just the diagonal
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CsrMatrix::zeros(3, 3);
+        let s = similarity_matrix(&a);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.shape(), (3, 3));
+    }
+}

@@ -1,0 +1,591 @@
+//! Seeded sparse-matrix generators.
+//!
+//! Every generator is deterministic under its seed and produces a validated
+//! [`CsrMatrix`]. The classes mirror the structural families in the paper's
+//! evaluation suite; see the crate docs for the substitution rationale.
+
+use std::fmt;
+
+use bootes_sparse::{CooMatrix, CsrMatrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Common generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// Creates a configuration for an `nrows x ncols` matrix with seed 0.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        GenConfig {
+            nrows,
+            ncols,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Error returned by generators on degenerate parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenError {
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+fn value(rng: &mut StdRng) -> f64 {
+    // Nonzero magnitudes in [0.5, 1.5) with random sign; values never cancel
+    // structurally because duplicates are deduplicated before insertion.
+    let v = 0.5 + rng.random::<f64>();
+    if rng.random::<f64>() < 0.5 {
+        -v
+    } else {
+        v
+    }
+}
+
+/// Uniform (Erdős–Rényi) random pattern with the given density.
+///
+/// # Errors
+///
+/// Returns [`GenError::InvalidParameter`] if `density` is outside `[0, 1]`.
+pub fn uniform_random(cfg: &GenConfig, density: f64) -> Result<CsrMatrix, GenError> {
+    if !(0.0..=1.0).contains(&density) {
+        return Err(GenError::InvalidParameter(format!(
+            "density {density} outside [0, 1]"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let per_row = (density * cfg.ncols as f64).max(0.0);
+    let mut coo = CooMatrix::new(cfg.nrows, cfg.ncols);
+    let mut cols = Vec::new();
+    for r in 0..cfg.nrows {
+        let n = sample_count(&mut rng, per_row, cfg.ncols);
+        sample_distinct(&mut rng, cfg.ncols, n, &mut cols);
+        for &c in &cols {
+            coo.push(r, c, value(&mut rng)).expect("in range");
+        }
+    }
+    Ok(coo.to_csr())
+}
+
+/// Banded (FEM-like) pattern: each row's nonzeros fall within `bandwidth` of
+/// the (scaled) diagonal, filled with probability `fill`.
+///
+/// # Errors
+///
+/// Returns [`GenError::InvalidParameter`] if `fill` is outside `[0, 1]` or
+/// `bandwidth == 0`.
+pub fn banded(cfg: &GenConfig, bandwidth: usize, fill: f64) -> Result<CsrMatrix, GenError> {
+    if !(0.0..=1.0).contains(&fill) {
+        return Err(GenError::InvalidParameter(format!(
+            "fill {fill} outside [0, 1]"
+        )));
+    }
+    if bandwidth == 0 {
+        return Err(GenError::InvalidParameter("bandwidth must be > 0".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut coo = CooMatrix::new(cfg.nrows, cfg.ncols);
+    for r in 0..cfg.nrows {
+        // Keep the band on the diagonal for rectangular shapes as well.
+        let center = if cfg.nrows <= 1 {
+            0.0
+        } else {
+            r as f64 / (cfg.nrows - 1) as f64 * cfg.ncols.saturating_sub(1) as f64
+        };
+        let lo = (center as isize - bandwidth as isize).max(0) as usize;
+        let hi = ((center as usize) + bandwidth).min(cfg.ncols.saturating_sub(1));
+        for c in lo..=hi.min(cfg.ncols.saturating_sub(1)) {
+            if cfg.ncols == 0 {
+                break;
+            }
+            if rng.random::<f64>() < fill {
+                coo.push(r, c, value(&mut rng)).expect("in range");
+            }
+        }
+    }
+    Ok(coo.to_csr())
+}
+
+/// Block-clustered pattern with scrambled rows — the workload class where
+/// reordering pays off.
+///
+/// Rows are split into `clusters` groups; each group owns a contiguous block
+/// of columns and a small set of *prototype* column supports within that
+/// block. A row copies one of its group's prototypes (keeping each prototype
+/// column with probability `coherence`) and adds a few uniform extras, so
+/// same-group rows share most of their actual column coordinates — the
+/// "repeated distant patterns" of the paper's Figure 1. Rows are then
+/// shuffled so the similar rows end up far apart in row order.
+///
+/// # Errors
+///
+/// Returns [`GenError::InvalidParameter`] if `clusters == 0`,
+/// `clusters > max(nrows, 1)`, or `coherence` is outside `[0, 1]`.
+pub fn clustered(cfg: &GenConfig, clusters: usize, coherence: f64) -> Result<CsrMatrix, GenError> {
+    clustered_with_density(cfg, clusters, coherence, 16.0 / cfg.ncols.max(1) as f64)
+}
+
+/// [`clustered`] with an explicit target density (`nnz / (nrows * ncols)`).
+///
+/// # Errors
+///
+/// Same conditions as [`clustered`], plus `density` outside `[0, 1]`.
+pub fn clustered_with_density(
+    cfg: &GenConfig,
+    clusters: usize,
+    coherence: f64,
+    density: f64,
+) -> Result<CsrMatrix, GenError> {
+    if clusters == 0 {
+        return Err(GenError::InvalidParameter("clusters must be > 0".into()));
+    }
+    if cfg.nrows > 0 && clusters > cfg.nrows {
+        return Err(GenError::InvalidParameter(format!(
+            "clusters {clusters} exceed rows {}",
+            cfg.nrows
+        )));
+    }
+    if !(0.0..=1.0).contains(&coherence) {
+        return Err(GenError::InvalidParameter(format!(
+            "coherence {coherence} outside [0, 1]"
+        )));
+    }
+    if !(0.0..=1.0).contains(&density) {
+        return Err(GenError::InvalidParameter(format!(
+            "density {density} outside [0, 1]"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    if cfg.nrows == 0 || cfg.ncols == 0 {
+        return Ok(CsrMatrix::zeros(cfg.nrows, cfg.ncols));
+    }
+    let per_row = (density * cfg.ncols as f64).max(1.0);
+    let block = (cfg.ncols / clusters).max(1);
+    // Prototype supports: each cluster owns a couple of representative
+    // column sets; rows are noisy copies of one prototype.
+    let protos_per_cluster = 2usize;
+    let proto_size = ((per_row / coherence.max(0.05)).round() as usize)
+        .clamp(1, block.max(1));
+    let mut prototypes: Vec<Vec<usize>> = Vec::with_capacity(clusters * protos_per_cluster);
+    let mut scratch = Vec::new();
+    for g in 0..clusters {
+        let block_lo = (g * block).min(cfg.ncols - 1);
+        let block_width = block.min(cfg.ncols - block_lo).max(1);
+        for _ in 0..protos_per_cluster {
+            sample_distinct(&mut rng, block_width, proto_size, &mut scratch);
+            prototypes.push(scratch.iter().map(|&c| block_lo + c).collect());
+        }
+    }
+    let mut coo = CooMatrix::new(cfg.nrows, cfg.ncols);
+    let mut cols = Vec::new();
+    for r in 0..cfg.nrows {
+        let g = r * clusters / cfg.nrows;
+        let proto = &prototypes[g * protos_per_cluster + rng.random_range(0..protos_per_cluster)];
+        cols.clear();
+        for &c in proto {
+            if rng.random::<f64>() < coherence {
+                cols.push(c);
+            }
+        }
+        // A sprinkle of uniform noise outside the prototype.
+        let extras = ((1.0 - coherence) * per_row).round() as usize;
+        for _ in 0..extras {
+            cols.push(rng.random_range(0..cfg.ncols));
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        for &c in &cols {
+            coo.push(r, c, value(&mut rng)).expect("in range");
+        }
+    }
+    let a = coo.to_csr();
+    // Scramble rows so the cluster structure is hidden from the row order.
+    Ok(crate::scramble::scramble_rows(&a, cfg.seed ^ 0x5C4A_3B1E))
+}
+
+/// Power-law (graph-like) pattern: column popularity follows a Zipf
+/// distribution with exponent `alpha`, and each row samples `avg_nnz`
+/// columns by popularity. Models citation/web/AS graphs.
+///
+/// # Errors
+///
+/// Returns [`GenError::InvalidParameter`] if `alpha <= 0` or
+/// `avg_nnz <= 0`.
+pub fn power_law(cfg: &GenConfig, avg_nnz: f64, alpha: f64) -> Result<CsrMatrix, GenError> {
+    let alpha_valid = alpha > 0.0;
+    if !alpha_valid {
+        return Err(GenError::InvalidParameter(format!(
+            "alpha {alpha} must be positive"
+        )));
+    }
+    let nnz_valid = avg_nnz > 0.0;
+    if !nnz_valid {
+        return Err(GenError::InvalidParameter(format!(
+            "avg_nnz {avg_nnz} must be positive"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Cumulative Zipf weights over columns.
+    let mut cum = Vec::with_capacity(cfg.ncols);
+    let mut total = 0.0;
+    for c in 0..cfg.ncols {
+        total += 1.0 / ((c + 1) as f64).powf(alpha);
+        cum.push(total);
+    }
+    let mut coo = CooMatrix::new(cfg.nrows, cfg.ncols);
+    let mut cols = Vec::new();
+    for r in 0..cfg.nrows {
+        let n = sample_count(&mut rng, avg_nnz, cfg.ncols);
+        cols.clear();
+        for _ in 0..n {
+            let t = rng.random::<f64>() * total;
+            let c = cum.partition_point(|&w| w < t).min(cfg.ncols.saturating_sub(1));
+            cols.push(c);
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        for &c in &cols {
+            coo.push(r, c, value(&mut rng)).expect("in range");
+        }
+    }
+    Ok(coo.to_csr())
+}
+
+/// Circuit-like pattern: a guaranteed diagonal (for square shapes), sparse
+/// local fan-out, and a few dense "bus" columns shared by many rows.
+///
+/// # Errors
+///
+/// Returns [`GenError::InvalidParameter`] if `fanout == 0`.
+pub fn circuit_like(cfg: &GenConfig, fanout: usize, bus_cols: usize) -> Result<CsrMatrix, GenError> {
+    if fanout == 0 {
+        return Err(GenError::InvalidParameter("fanout must be > 0".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut coo = CooMatrix::new(cfg.nrows, cfg.ncols);
+    let buses: Vec<usize> = (0..bus_cols.min(cfg.ncols))
+        .map(|_| rng.random_range(0..cfg.ncols.max(1)))
+        .collect();
+    let mut cols = Vec::new();
+    for r in 0..cfg.nrows {
+        cols.clear();
+        if r < cfg.ncols {
+            cols.push(r); // diagonal
+        }
+        for _ in 0..fanout {
+            // Local connections near the diagonal.
+            let span = 32.min(cfg.ncols.max(1));
+            let base = r.min(cfg.ncols.saturating_sub(span));
+            cols.push(base + rng.random_range(0..span.max(1)));
+        }
+        // Occasional bus connection.
+        if !buses.is_empty() && rng.random::<f64>() < 0.2 {
+            cols.push(buses[rng.random_range(0..buses.len())]);
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        for &c in &cols {
+            if c < cfg.ncols {
+                coo.push(r, c, value(&mut rng)).expect("in range");
+            }
+        }
+    }
+    Ok(coo.to_csr())
+}
+
+/// Unscrambled block-diagonal pattern — already optimally ordered, the
+/// workload class where reordering *cannot* help (a "no reorder" exemplar
+/// for the decision tree).
+///
+/// # Errors
+///
+/// Returns [`GenError::InvalidParameter`] if `blocks == 0` or `density`
+/// is outside `[0, 1]`.
+pub fn block_diagonal(cfg: &GenConfig, blocks: usize, density: f64) -> Result<CsrMatrix, GenError> {
+    if blocks == 0 {
+        return Err(GenError::InvalidParameter("blocks must be > 0".into()));
+    }
+    if !(0.0..=1.0).contains(&density) {
+        return Err(GenError::InvalidParameter(format!(
+            "density {density} outside [0, 1]"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let row_block = (cfg.nrows / blocks).max(1);
+    let col_block = (cfg.ncols / blocks).max(1);
+    let mut coo = CooMatrix::new(cfg.nrows, cfg.ncols);
+    for r in 0..cfg.nrows {
+        let g = (r / row_block).min(blocks - 1);
+        let lo = (g * col_block).min(cfg.ncols.saturating_sub(1));
+        let hi = (((g + 1) * col_block).min(cfg.ncols)).max(lo + 1);
+        for c in lo..hi {
+            if cfg.ncols == 0 {
+                break;
+            }
+            if rng.random::<f64>() < density * blocks as f64 {
+                coo.push(r, c, value(&mut rng)).expect("in range");
+            }
+        }
+    }
+    Ok(coo.to_csr())
+}
+
+/// R-MAT (recursive matrix) graph generator — the standard model behind
+/// SNAP-style social/web graphs, with power-law degrees and community
+/// structure. Edges are placed by recursively descending into quadrants with
+/// probabilities `(a, b, c, d)`; the classic skewed setting is
+/// `(0.57, 0.19, 0.19, 0.05)`.
+///
+/// The matrix is square `n x n` where `n` is `nrows` rounded up to a power
+/// of two is *not* required — descent splits ranges in half, handling any
+/// `n`. Duplicate edges are merged, so the realized edge count can fall
+/// slightly below `avg_deg · n`.
+///
+/// # Errors
+///
+/// Returns [`GenError::InvalidParameter`] if the probabilities are negative
+/// or do not sum to ~1, or if `avg_deg <= 0`.
+pub fn rmat(
+    cfg: &GenConfig,
+    avg_deg: f64,
+    probs: (f64, f64, f64, f64),
+) -> Result<CsrMatrix, GenError> {
+    let (a, b, c, d) = probs;
+    if a < 0.0 || b < 0.0 || c < 0.0 || d < 0.0 {
+        return Err(GenError::InvalidParameter(
+            "rmat probabilities must be non-negative".into(),
+        ));
+    }
+    if ((a + b + c + d) - 1.0).abs() > 1e-6 {
+        return Err(GenError::InvalidParameter(format!(
+            "rmat probabilities sum to {}, expected 1",
+            a + b + c + d
+        )));
+    }
+    let deg_valid = avg_deg > 0.0;
+    if !deg_valid {
+        return Err(GenError::InvalidParameter("avg_deg must be positive".into()));
+    }
+    let n = cfg.nrows.min(cfg.ncols);
+    if n == 0 {
+        return Ok(CsrMatrix::zeros(cfg.nrows, cfg.ncols));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let edges = (avg_deg * n as f64) as usize;
+    let mut coo = CooMatrix::with_capacity(cfg.nrows, cfg.ncols, edges);
+    let mut seen = std::collections::HashSet::with_capacity(edges);
+    for _ in 0..edges {
+        let (mut r_lo, mut r_hi) = (0usize, n);
+        let (mut c_lo, mut c_hi) = (0usize, n);
+        while r_hi - r_lo > 1 || c_hi - c_lo > 1 {
+            let t = rng.random::<f64>();
+            let (top, left) = if t < a {
+                (true, true)
+            } else if t < a + b {
+                (true, false)
+            } else if t < a + b + c {
+                (false, true)
+            } else {
+                (false, false)
+            };
+            if r_hi - r_lo > 1 {
+                let mid = r_lo + (r_hi - r_lo) / 2;
+                if top {
+                    r_hi = mid;
+                } else {
+                    r_lo = mid;
+                }
+            }
+            if c_hi - c_lo > 1 {
+                let mid = c_lo + (c_hi - c_lo) / 2;
+                if left {
+                    c_hi = mid;
+                } else {
+                    c_lo = mid;
+                }
+            }
+        }
+        if seen.insert((r_lo, c_lo)) {
+            coo.push(r_lo, c_lo, value(&mut rng)).expect("in range");
+        }
+    }
+    Ok(coo.to_csr())
+}
+
+/// Samples a nonzero count around `mean`, clamped to `[1, max]` (0 if the
+/// matrix has no columns).
+fn sample_count(rng: &mut StdRng, mean: f64, max: usize) -> usize {
+    if max == 0 {
+        return 0;
+    }
+    // Poisson-ish: mean +- 50% jitter keeps row lengths varied but bounded.
+    let jitter = 0.5 + rng.random::<f64>();
+    ((mean * jitter).round() as usize).clamp(1, max)
+}
+
+/// Samples `n` distinct values in `0..max` into `out` (sorted).
+fn sample_distinct(rng: &mut StdRng, max: usize, n: usize, out: &mut Vec<usize>) {
+    out.clear();
+    if max == 0 {
+        return;
+    }
+    // Rejection sampling is fine for the sparse regimes used here.
+    let n = n.min(max);
+    while out.len() < n {
+        let c = rng.random_range(0..max);
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out.sort_unstable();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootes_sparse::stats;
+
+    #[test]
+    fn uniform_density_is_close() {
+        let a = uniform_random(&GenConfig::new(400, 400).seed(1), 0.02).unwrap();
+        let d = stats::density(&a);
+        assert!((d - 0.02).abs() < 0.01, "density {d}");
+    }
+
+    #[test]
+    fn uniform_rejects_bad_density() {
+        assert!(uniform_random(&GenConfig::new(4, 4), 1.5).is_err());
+        assert!(uniform_random(&GenConfig::new(4, 4), -0.1).is_err());
+    }
+
+    #[test]
+    fn banded_respects_bandwidth() {
+        let a = banded(&GenConfig::new(200, 200).seed(2), 5, 0.8).unwrap();
+        assert!(stats::bandwidth(&a) <= 6); // center rounding slack
+        assert!(a.nnz() > 0);
+    }
+
+    #[test]
+    fn banded_rectangular_keeps_indices_in_range() {
+        let a = banded(&GenConfig::new(100, 37).seed(3), 4, 0.7).unwrap();
+        assert_eq!(a.ncols(), 37);
+        assert!(a.indices().iter().all(|&c| c < 37));
+    }
+
+    #[test]
+    fn clustered_has_hidden_structure() {
+        // Scrambled clustered matrices must have low *adjacent* intersection
+        // but large column-block overlap within the hidden groups.
+        let a = clustered(&GenConfig::new(256, 256).seed(4), 4, 0.95).unwrap();
+        assert!(a.nnz() > 256);
+        let (adj_avg, _) = stats::adjacent_intersection_stats(&a);
+        // With 4 hidden groups interleaved, adjacent rows usually belong to
+        // different groups, so overlap is far below the within-group overlap.
+        assert!(adj_avg < 8.0, "adjacent intersection {adj_avg}");
+    }
+
+    #[test]
+    fn clustered_rejects_bad_parameters() {
+        let cfg = GenConfig::new(16, 16);
+        assert!(clustered(&cfg, 0, 0.9).is_err());
+        assert!(clustered(&cfg, 32, 0.9).is_err());
+        assert!(clustered(&cfg, 2, 1.5).is_err());
+        assert!(clustered_with_density(&cfg, 2, 0.9, 2.0).is_err());
+    }
+
+    #[test]
+    fn power_law_concentrates_on_popular_columns() {
+        let a = power_law(&GenConfig::new(500, 500).seed(5), 8.0, 1.2).unwrap();
+        let counts = stats::col_nnz_counts(&a);
+        let head: usize = counts[..50].iter().sum();
+        let tail: usize = counts[450..].iter().sum();
+        assert!(head > tail * 3, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn circuit_has_diagonal() {
+        let a = circuit_like(&GenConfig::new(100, 100).seed(6), 3, 4).unwrap();
+        for r in 0..100 {
+            assert_ne!(a.get(r, r), 0.0, "missing diagonal at {r}");
+        }
+    }
+
+    #[test]
+    fn block_diagonal_stays_in_blocks() {
+        let a = block_diagonal(&GenConfig::new(120, 120).seed(7), 4, 0.05).unwrap();
+        for (r, c, _) in a.iter() {
+            assert_eq!(r / 30, c / 30, "entry ({r}, {c}) escapes its block");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let cfg = GenConfig::new(64, 64).seed(11);
+        assert_eq!(
+            clustered(&cfg, 4, 0.9).unwrap(),
+            clustered(&cfg, 4, 0.9).unwrap()
+        );
+        assert_ne!(
+            clustered(&cfg, 4, 0.9).unwrap(),
+            clustered(&cfg.seed(12), 4, 0.9).unwrap()
+        );
+    }
+
+    #[test]
+    fn rmat_skews_degrees() {
+        let a = rmat(&GenConfig::new(512, 512).seed(9), 8.0, (0.57, 0.19, 0.19, 0.05)).unwrap();
+        assert!(a.nnz() > 1000);
+        let counts = stats::col_nnz_counts(&a);
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|x, y| y.cmp(x));
+        // Top 5% of columns hold far more than 5% of the edges.
+        let top: usize = sorted[..26].iter().sum();
+        assert!(top as f64 > 0.2 * a.nnz() as f64, "top share {top}/{}", a.nnz());
+    }
+
+    #[test]
+    fn rmat_rejects_bad_probs() {
+        let cfg = GenConfig::new(32, 32);
+        assert!(rmat(&cfg, 4.0, (0.5, 0.5, 0.5, 0.5)).is_err());
+        assert!(rmat(&cfg, 4.0, (-0.1, 0.5, 0.3, 0.3)).is_err());
+        assert!(rmat(&cfg, 0.0, (0.25, 0.25, 0.25, 0.25)).is_err());
+    }
+
+    #[test]
+    fn rmat_uniform_probs_spread_edges() {
+        let a = rmat(&GenConfig::new(256, 256).seed(10), 6.0, (0.25, 0.25, 0.25, 0.25)).unwrap();
+        let counts = stats::col_nnz_counts(&a);
+        let max = *counts.iter().max().unwrap();
+        assert!(max < 40, "uniform rmat too skewed: max col degree {max}");
+    }
+
+    #[test]
+    fn zero_sized_matrices() {
+        assert_eq!(uniform_random(&GenConfig::new(0, 10), 0.1).unwrap().nrows(), 0);
+        assert_eq!(uniform_random(&GenConfig::new(10, 0), 0.1).unwrap().nnz(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Synthetic sparse workloads reproducing the Bootes evaluation inputs.
+//!
+//! The paper evaluates on 26 SuiteSparse/SNAP matrices (its Table 3) and
+//! trains its decision tree on a 500-matrix corpus. Those collections cannot
+//! be redistributed here, so this crate generates structural stand-ins: for
+//! each matrix the *dimensions and density are matched* and the sparsity
+//! pattern is drawn from the generator class matching the original domain
+//! (FEM meshes → banded, circuits → near-diagonal with fan-out, graphs →
+//! power-law, optimization → block-structured, and "hidden cluster" matrices
+//! → block-clustered with scrambled rows). The property Bootes exploits —
+//! rows with similar column supports separated in row order — is produced
+//! explicitly by [`gen::clustered`] + [`scramble::scramble_rows`]. See
+//! `DESIGN.md` (substitution 1) for the full rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use bootes_workloads::gen::{clustered, GenConfig};
+//!
+//! # fn main() -> Result<(), bootes_workloads::GenError> {
+//! let a = clustered(&GenConfig::new(512, 512).seed(1), 8, 0.95)?;
+//! assert_eq!(a.nrows(), 512);
+//! assert!(a.nnz() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod gen;
+pub mod scramble;
+pub mod suite;
+
+pub use gen::{GenConfig, GenError};
+pub use scramble::scramble_rows;
+pub use suite::{table3_suite, SuiteEntry};

@@ -1,0 +1,68 @@
+//! Row scrambling.
+
+use bootes_sparse::{CsrMatrix, Permutation};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Applies a seeded random row permutation.
+///
+/// Used to hide cluster structure from the row order (the generators call it
+/// on clustered matrices) and by tests that need a "worst case" ordering of a
+/// structured matrix.
+///
+/// # Example
+///
+/// ```
+/// use bootes_sparse::CsrMatrix;
+/// use bootes_workloads::scramble_rows;
+///
+/// let a = CsrMatrix::identity(16);
+/// let b = scramble_rows(&a, 42);
+/// assert_eq!(b.nnz(), a.nnz());
+/// assert_ne!(a, b);
+/// ```
+pub fn scramble_rows(a: &CsrMatrix, seed: u64) -> CsrMatrix {
+    let mut order: Vec<usize> = (0..a.nrows()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let p = Permutation::try_new(order).expect("shuffled identity is a bijection");
+    p.apply_rows(a).expect("length matches by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_row_multiset() {
+        let a = CsrMatrix::try_new(
+            4,
+            2,
+            vec![0, 1, 2, 3, 4],
+            vec![0, 1, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let b = scramble_rows(&a, 7);
+        let mut vals_a: Vec<_> = a.values().to_vec();
+        let mut vals_b: Vec<_> = b.values().to_vec();
+        vals_a.sort_by(f64::total_cmp);
+        vals_b.sort_by(f64::total_cmp);
+        assert_eq!(vals_a, vals_b);
+        assert_eq!(a.nnz(), b.nnz());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = CsrMatrix::identity(32);
+        assert_eq!(scramble_rows(&a, 1), scramble_rows(&a, 1));
+        assert_ne!(scramble_rows(&a, 1), scramble_rows(&a, 2));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CsrMatrix::zeros(0, 0);
+        assert_eq!(scramble_rows(&a, 1), a);
+    }
+}

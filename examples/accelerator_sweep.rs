@@ -1,0 +1,67 @@
+//! Compare all reordering algorithms across the three paper accelerators.
+//!
+//! Runs Original / Gamma / Graph / Hier / Bootes on a hidden-cluster matrix
+//! and prints the simulated traffic and cycles on Flexagon, GAMMA and
+//! Trapezoid — a miniature of the paper's Figure 4.
+//!
+//! Run with: `cargo run --release --example accelerator_sweep`
+
+use bootes::accel::{configs, simulate_spgemm};
+use bootes::core::{BootesConfig, SpectralReorderer};
+use bootes::reorder::{GammaReorderer, GraphReorderer, HierReorderer, OriginalOrder, Reorderer};
+use bootes::workloads::gen::{clustered_with_density, GenConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let a = clustered_with_density(&GenConfig::new(1500, 1500).seed(5), 16, 0.92, 0.012)?;
+    println!(
+        "workload: {}x{} hidden-cluster matrix, {} nonzeros\n",
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    );
+
+    let algos: Vec<Box<dyn Reorderer>> = vec![
+        Box::new(OriginalOrder),
+        Box::new(GammaReorderer::default()),
+        Box::new(GraphReorderer::default()),
+        Box::new(HierReorderer::default()),
+        Box::new(SpectralReorderer::new(BootesConfig::default().with_k(16))),
+    ];
+
+    for mut accel in configs::all() {
+        // Scale the cache to this workload size the same way the benchmark
+        // harness does (DESIGN.md substitution 2).
+        accel.cache_bytes = (accel.cache_bytes as f64 * 0.02) as usize;
+        println!(
+            "=== {} ({} KiB cache, {} PEs) ===",
+            accel.name,
+            accel.cache_bytes / 1024,
+            accel.num_pes
+        );
+        println!(
+            "{:<10} {:>12} {:>12} {:>10} {:>12} {:>10}",
+            "method", "traffic KiB", "B KiB", "hit rate", "cycles", "prep ms"
+        );
+        let mut baseline_cycles = 0u64;
+        for algo in &algos {
+            let out = algo.reorder(&a)?;
+            let permuted = out.permutation.apply_rows(&a)?;
+            let rep = simulate_spgemm(&permuted, &a, &accel)?;
+            if algo.name() == "original" {
+                baseline_cycles = rep.cycles;
+            }
+            println!(
+                "{:<10} {:>12} {:>12} {:>9.0}% {:>12} {:>10.2}  (speedup {:.2}x)",
+                algo.name(),
+                rep.total_bytes() / 1024,
+                rep.b_bytes / 1024,
+                rep.hit_rate() * 100.0,
+                rep.cycles,
+                out.stats.elapsed.as_secs_f64() * 1e3,
+                baseline_cycles as f64 / rep.cycles as f64,
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

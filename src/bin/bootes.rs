@@ -1,0 +1,281 @@
+//! `bootes` — command-line front end for the library.
+//!
+//! Subcommands:
+//!
+//! - `reorder <in.mtx> [-o out.mtx] [--algo A] [--k K]` — reorder a Matrix
+//!   Market file (`bootes`, `gamma`, `graph`, `hier`, `recursive`),
+//! - `features <in.mtx>` — print the §3.2 structural feature vector,
+//! - `simulate <in.mtx> [--accel NAME] [--cache BYTES]` — simulate the
+//!   row-wise SpGEMM `A·A` (or `A·Aᵀ`) and print the traffic report,
+//! - `train [--corpus N] [--accel NAME] [--cache BYTES] -o model.json` —
+//!   train the decision tree on a measured synthetic corpus,
+//! - `decide <in.mtx> --model model.json` — run the cost model on a matrix,
+//! - `analyze <in.mtx> [--pes N]` — stack-distance reuse analysis of the
+//!   B-row access stream with predicted hit rates per cache size.
+//!
+//! Examples:
+//!
+//! ```sh
+//! bootes reorder matrix.mtx -o reordered.mtx --algo bootes --k 8
+//! bootes simulate matrix.mtx --accel flexagon
+//! bootes train --corpus 60 -o model.json && bootes decide matrix.mtx --model model.json
+//! ```
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use bootes::accel::{configs, simulate_spgemm, AcceleratorConfig};
+use bootes::core::{
+    BootesConfig, BootesPipeline, Label, MatrixFeatures, RecursiveSpectralReorderer,
+    SpectralReorderer, CANDIDATE_KS, FEATURE_NAMES,
+};
+use bootes::model::{Dataset, DecisionTree, TreeConfig};
+use bootes::reorder::{GammaReorderer, GraphReorderer, HierReorderer, Reorderer};
+use bootes::sparse::io::{read_matrix_market, write_matrix_market};
+use bootes::sparse::CsrMatrix;
+use bootes::workloads::suite::training_corpus;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  bootes reorder  <in.mtx> [-o out.mtx] [--algo bootes|gamma|graph|hier|recursive] [--k K]
+  bootes features <in.mtx>
+  bootes simulate <in.mtx> [--accel flexagon|gamma|trapezoid] [--cache BYTES]
+  bootes train    [--corpus N] [--accel NAME] [--cache BYTES] [--seed S] -o model.json
+  bootes decide   <in.mtx> --model model.json
+  bootes analyze  <in.mtx> [--pes N]";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load(path: &str) -> Result<CsrMatrix, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_matrix_market(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn accel_from(args: &[String]) -> Result<AcceleratorConfig, String> {
+    let name = flag(args, "--accel").unwrap_or_else(|| "flexagon".to_string());
+    let mut cfg = match name.as_str() {
+        "flexagon" => configs::flexagon(),
+        "gamma" => configs::gamma(),
+        "trapezoid" => configs::trapezoid(),
+        other => return Err(format!("unknown accelerator {other:?}")),
+    };
+    if let Some(cache) = flag(args, "--cache") {
+        cfg.cache_bytes = cache
+            .parse()
+            .map_err(|e| format!("bad --cache value {cache:?}: {e}"))?;
+    }
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".to_string());
+    };
+    match cmd.as_str() {
+        "reorder" => cmd_reorder(&args[1..]),
+        "features" => cmd_features(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "train" => cmd_train(&args[1..]),
+        "decide" => cmd_decide(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_reorder(args: &[String]) -> Result<(), String> {
+    let input = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("reorder needs an input file")?;
+    let a = load(input)?;
+    let algo_name = flag(args, "--algo").unwrap_or_else(|| "bootes".to_string());
+    let k: usize = match flag(args, "--k") {
+        Some(v) => v.parse().map_err(|e| format!("bad --k {v:?}: {e}"))?,
+        None => 8,
+    };
+    let algo: Box<dyn Reorderer> = match algo_name.as_str() {
+        "bootes" => Box::new(SpectralReorderer::new(BootesConfig::default().with_k(k))),
+        "recursive" => Box::new(RecursiveSpectralReorderer::default()),
+        "gamma" => Box::new(GammaReorderer::default()),
+        "graph" => Box::new(GraphReorderer::default()),
+        "hier" => Box::new(HierReorderer::default()),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let out = algo.reorder(&a).map_err(|e| e.to_string())?;
+    let reordered = out.permutation.apply_rows(&a).map_err(|e| e.to_string())?;
+    let out_path = flag(args, "-o").unwrap_or_else(|| format!("{input}.reordered.mtx"));
+    let mut file = std::fs::File::create(&out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    write_matrix_market(&mut file, &reordered).map_err(|e| e.to_string())?;
+    println!(
+        "{}: reordered {}x{} ({} nnz) with {} in {:.2} ms (peak {} KiB) -> {}",
+        input,
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        algo.name(),
+        out.stats.elapsed.as_secs_f64() * 1e3,
+        out.stats.peak_bytes / 1024,
+        out_path
+    );
+    Ok(())
+}
+
+fn cmd_features(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("features needs an input file")?;
+    let a = load(input)?;
+    let f = MatrixFeatures::extract(&a).to_vec();
+    for (name, v) in FEATURE_NAMES.iter().zip(f) {
+        println!("{name:<18} {v:.6}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let input = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("simulate needs an input file")?;
+    let a = load(input)?;
+    let accel = accel_from(args)?;
+    let b = if a.nrows() == a.ncols() { a.clone() } else { a.transpose() };
+    let rep = simulate_spgemm(&a, &b, &accel).map_err(|e| e.to_string())?;
+    println!("accelerator      {}", rep.accelerator);
+    println!("traffic A/B/C    {} / {} / {} bytes", rep.a_bytes, rep.b_bytes, rep.c_bytes);
+    println!("total            {} bytes ({:.2}x compulsory)", rep.total_bytes(), rep.normalized_traffic());
+    println!("cache hit rate   {:.1}%", rep.hit_rate() * 100.0);
+    println!("macs / cycles    {} / {}", rep.macs, rep.cycles);
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let out_path = flag(args, "-o").ok_or("train needs -o <model.json>")?;
+    let corpus_size: usize = match flag(args, "--corpus") {
+        Some(v) => v.parse().map_err(|e| format!("bad --corpus {v:?}: {e}"))?,
+        None => 60,
+    };
+    let seed: u64 = match flag(args, "--seed") {
+        Some(v) => v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?,
+        None => 42,
+    };
+    let accel = accel_from(args)?;
+    eprintln!("labeling {corpus_size} synthetic matrices on {} (cache {} B)...", accel.name, accel.cache_bytes);
+    let corpus = training_corpus(corpus_size, seed, 384).map_err(|e| e.to_string())?;
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for (_, m) in &corpus {
+        x.push(MatrixFeatures::extract(m).to_vec());
+        y.push(measure_label(m, &accel)?.to_class());
+    }
+    let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    let ds = Dataset::new(x, y, names, Label::N_CLASSES).map_err(|e| e.to_string())?;
+    let (train, test) = ds.split(0.7, seed).map_err(|e| e.to_string())?;
+    let mut tree = DecisionTree::fit(
+        &train,
+        &TreeConfig {
+            max_depth: 10,
+            class_weights: Some(train.balanced_class_weights()),
+            ..TreeConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    tree.prune();
+    let preds: Vec<usize> = (0..test.len())
+        .map(|i| tree.predict(test.features(i)).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let acc = bootes::model::accuracy(test.labels(), &preds);
+    std::fs::write(&out_path, tree.to_json().map_err(|e| e.to_string())?)
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!(
+        "trained on {} samples, held-out accuracy {:.0}%, wrote {} ({} bytes)",
+        train.len(),
+        acc * 100.0,
+        out_path,
+        tree.serialized_size()
+    );
+    Ok(())
+}
+
+fn measure_label(a: &CsrMatrix, accel: &AcceleratorConfig) -> Result<Label, String> {
+    let b = if a.nrows() == a.ncols() { a.clone() } else { a.transpose() };
+    let base = simulate_spgemm(a, &b, accel).map_err(|e| e.to_string())?.total_bytes();
+    let mut best: Option<(usize, u64)> = None;
+    for &k in &CANDIDATE_KS {
+        if k + 1 >= a.nrows() {
+            continue;
+        }
+        let algo = SpectralReorderer::new(BootesConfig::default().with_k(k));
+        let out = algo.reorder(a).map_err(|e| e.to_string())?;
+        let permuted = out.permutation.apply_rows(a).map_err(|e| e.to_string())?;
+        let t = simulate_spgemm(&permuted, &b, accel).map_err(|e| e.to_string())?.total_bytes();
+        if best.is_none_or(|(_, bt)| t < bt) {
+            best = Some((k, t));
+        }
+    }
+    Ok(match best {
+        Some((k, t)) if (t as f64) < 0.9 * base as f64 => Label::Reorder(k),
+        _ => Label::NoReorder,
+    })
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let input = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("analyze needs an input file")?;
+    let pes: usize = match flag(args, "--pes") {
+        Some(v) => v.parse().map_err(|e| format!("bad --pes {v:?}: {e}"))?,
+        None => 64,
+    };
+    let a = load(input)?;
+    let profile = bootes::reorder::b_reuse_profile_scheduled(&a, pes);
+    println!(
+        "B-row accesses      {} ({} cold / first-touch)",
+        profile.accesses, profile.cold
+    );
+    println!("mean reuse distance {:.1} B rows", profile.mean_reuse_distance());
+    println!("predicted LRU hit rate by cache capacity (in B rows):");
+    for cap in [16usize, 64, 256, 1024, 4096] {
+        println!("  {cap:>5} rows: {:.1}%", profile.hit_rate_at(cap) * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_decide(args: &[String]) -> Result<(), String> {
+    let input = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("decide needs an input file")?;
+    let model_path = flag(args, "--model").ok_or("decide needs --model <model.json>")?;
+    let a = load(input)?;
+    let json = std::fs::read_to_string(&model_path).map_err(|e| format!("read {model_path}: {e}"))?;
+    let tree = DecisionTree::from_json(&json).map_err(|e| e.to_string())?;
+    let pipeline = BootesPipeline::new(tree, BootesConfig::default()).map_err(|e| e.to_string())?;
+    let decision = pipeline.decide(&a).map_err(|e| e.to_string())?;
+    match decision.label {
+        Label::NoReorder => println!("{input}: do not reorder"),
+        Label::Reorder(k) => println!("{input}: reorder with k = {k}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # Bootes
+//!
+//! A reproduction of *"Bootes: Boosting the Efficiency of Sparse Accelerators
+//! Using Spectral Clustering"* (MICRO 2025): spectral-clustering row
+//! reordering for row-wise-product SpGEMM accelerators, with a decision-tree
+//! cost model that predicts when reordering pays off and which cluster count
+//! to use.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`sparse`]: CSR/CSC/COO matrices, SpGEMM kernels, similarity products.
+//! - [`linalg`]: Lanczos eigensolver, normalized Laplacian, k-means++.
+//! - [`reorder`]: the Gamma, Graph and Hier baselines behind one trait.
+//! - [`core`]: the Bootes spectral reorderer, features and pipeline.
+//! - [`model`]: CART decision tree and random forest.
+//! - [`accel`]: the row-wise-dataflow accelerator simulator
+//!   (Flexagon / GAMMA / Trapezoid configurations).
+//! - [`workloads`]: synthetic matrix generators and the evaluation suite.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bootes::core::{BootesConfig, SpectralReorderer};
+//! use bootes::reorder::Reorderer;
+//! use bootes::workloads::gen::{clustered, GenConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A matrix with hidden cluster structure, rows scrambled.
+//! let a = clustered(&GenConfig::new(256, 256).seed(7), 4, 0.9)?;
+//! let reorderer = SpectralReorderer::new(BootesConfig::default().with_k(4));
+//! let result = reorderer.reorder(&a)?;
+//! let reordered = result.permutation.apply_rows(&a)?;
+//! assert_eq!(reordered.nnz(), a.nnz());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use bootes_accel as accel;
+pub use bootes_core as core;
+pub use bootes_linalg as linalg;
+pub use bootes_model as model;
+pub use bootes_reorder as reorder;
+pub use bootes_sparse as sparse;
+pub use bootes_workloads as workloads;

@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: the full reorder → permute → multiply →
+//! simulate pipeline, exercised through the public facade.
+
+use bootes::accel::{configs, simulate_spgemm};
+use bootes::core::{BootesConfig, SpectralReorderer};
+use bootes::reorder::{
+    GammaReorderer, GraphReorderer, HierReorderer, OriginalOrder, Reorderer,
+};
+use bootes::sparse::ops::spgemm;
+use bootes::sparse::{CsrMatrix, Permutation};
+use bootes::workloads::gen::{banded, clustered_with_density, uniform_random, GenConfig};
+use bootes::workloads::scramble_rows;
+
+fn all_reorderers() -> Vec<Box<dyn Reorderer>> {
+    vec![
+        Box::new(OriginalOrder),
+        Box::new(GammaReorderer::default()),
+        Box::new(GraphReorderer::default()),
+        Box::new(HierReorderer::default()),
+        Box::new(SpectralReorderer::new(BootesConfig::default().with_k(4))),
+    ]
+}
+
+/// Reordering the rows of `A` must permute — not change — the product:
+/// `P(A)·B == P(A·B)` row for row.
+#[test]
+fn reordering_preserves_the_spgemm_product() {
+    let a = clustered_with_density(&GenConfig::new(160, 160).seed(9), 4, 0.9, 0.05).unwrap();
+    let b = uniform_random(&GenConfig::new(160, 120).seed(10), 0.03).unwrap();
+    let c_ref = spgemm(&a, &b).unwrap();
+    for algo in all_reorderers() {
+        let out = algo.reorder(&a).unwrap();
+        let a_perm = out.permutation.apply_rows(&a).unwrap();
+        let c_perm = spgemm(&a_perm, &b).unwrap();
+        let c_expected = out.permutation.apply_rows(&c_ref).unwrap();
+        assert_eq!(c_perm, c_expected, "{} broke the product", algo.name());
+    }
+}
+
+/// Every algorithm must emit a bijection over rows for a spread of matrix
+/// shapes, including degenerate ones.
+#[test]
+fn every_reorderer_emits_valid_permutations() {
+    let matrices = vec![
+        CsrMatrix::zeros(0, 0),
+        CsrMatrix::zeros(7, 7),
+        CsrMatrix::identity(1),
+        CsrMatrix::identity(17),
+        banded(&GenConfig::new(50, 50).seed(1), 3, 0.8).unwrap(),
+        uniform_random(&GenConfig::new(64, 30).seed(2), 0.1).unwrap(),
+        clustered_with_density(&GenConfig::new(90, 40).seed(3), 4, 0.9, 0.2).unwrap(),
+    ];
+    for a in &matrices {
+        for algo in all_reorderers() {
+            let out = algo.reorder(a).unwrap_or_else(|e| {
+                panic!("{} failed on {}x{}: {e}", algo.name(), a.nrows(), a.ncols())
+            });
+            assert_eq!(out.permutation.len(), a.nrows());
+            // Permutation::try_new validated bijectivity internally; verify
+            // applying + inverting round-trips as a belt-and-braces check.
+            let fwd = out.permutation.apply_rows(a).unwrap();
+            let back = out.permutation.inverse().apply_rows(&fwd).unwrap();
+            assert_eq!(&back, a, "{} not invertible", algo.name());
+        }
+    }
+}
+
+/// On a scrambled block matrix with a pressured cache, Bootes must cut
+/// strictly more B traffic than the original order — the paper's headline
+/// mechanism.
+#[test]
+fn bootes_reduces_traffic_on_hidden_cluster_matrices() {
+    let a = clustered_with_density(&GenConfig::new(700, 700).seed(4), 8, 0.93, 0.02).unwrap();
+    let mut accel = configs::flexagon();
+    accel.cache_bytes = 8 << 10;
+    let before = simulate_spgemm(&a, &a, &accel).unwrap();
+    let out = SpectralReorderer::new(BootesConfig::default().with_k(8))
+        .reorder(&a)
+        .unwrap();
+    let after = simulate_spgemm(&out.permutation.apply_rows(&a).unwrap(), &a, &accel).unwrap();
+    assert!(
+        (after.b_bytes as f64) < 0.6 * before.b_bytes as f64,
+        "B traffic only went {} -> {}",
+        before.b_bytes,
+        after.b_bytes
+    );
+    // A and C traffic must be untouched by a row permutation of A.
+    assert_eq!(after.a_bytes, before.a_bytes);
+    assert_eq!(after.c_bytes, before.c_bytes);
+}
+
+/// An already-ordered banded matrix gains nothing; Bootes must not make it
+/// catastrophically worse (the failure mode the decision tree guards, but
+/// even the raw reorderer should stay within a small factor).
+#[test]
+fn bootes_is_gentle_on_already_ordered_matrices() {
+    let a = banded(&GenConfig::new(600, 600).seed(5), 8, 0.7).unwrap();
+    let mut accel = configs::flexagon();
+    accel.cache_bytes = 8 << 10;
+    let before = simulate_spgemm(&a, &a, &accel).unwrap();
+    let out = SpectralReorderer::new(BootesConfig::default().with_k(8))
+        .reorder(&a)
+        .unwrap();
+    let after = simulate_spgemm(&out.permutation.apply_rows(&a).unwrap(), &a, &accel).unwrap();
+    assert!(
+        (after.total_bytes() as f64) < 2.0 * before.total_bytes() as f64,
+        "banded traffic exploded: {} -> {}",
+        before.total_bytes(),
+        after.total_bytes()
+    );
+}
+
+/// The scramble + reorder round trip: reordering a scrambled structured
+/// matrix must recover (most of) the locality the scramble destroyed.
+#[test]
+fn reordering_recovers_scrambled_locality() {
+    use bootes::sparse::stats::adjacent_intersection_stats;
+    let ordered = clustered_with_density(&GenConfig::new(400, 400).seed(6), 4, 0.95, 0.04).unwrap();
+    let scrambled = scramble_rows(&ordered, 99);
+    let (adj_scrambled, _) = adjacent_intersection_stats(&scrambled);
+    let out = SpectralReorderer::new(BootesConfig::default().with_k(4))
+        .reorder(&scrambled)
+        .unwrap();
+    let recovered = out.permutation.apply_rows(&scrambled).unwrap();
+    let (adj_recovered, _) = adjacent_intersection_stats(&recovered);
+    assert!(
+        adj_recovered > 3.0 * adj_scrambled.max(0.5),
+        "adjacent intersections: scrambled {adj_scrambled:.2}, recovered {adj_recovered:.2}"
+    );
+}
+
+/// Permutations compose: applying P then Q equals applying the composite.
+#[test]
+fn permutation_composition_matches_sequential_application() {
+    let a = uniform_random(&GenConfig::new(80, 80).seed(7), 0.05).unwrap();
+    let p = GammaReorderer::default().reorder(&a).unwrap().permutation;
+    let step1 = p.apply_rows(&a).unwrap();
+    let q = GraphReorderer::default().reorder(&step1).unwrap().permutation;
+    let sequential = q.apply_rows(&step1).unwrap();
+    let composite = q.compose(&p).unwrap();
+    assert_eq!(composite.apply_rows(&a).unwrap(), sequential);
+}
+
+/// Identity baseline sanity: OriginalOrder's permutation is the identity and
+/// its simulated traffic matches simulating the raw matrix.
+#[test]
+fn original_order_is_a_true_identity() {
+    let a = uniform_random(&GenConfig::new(128, 128).seed(8), 0.05).unwrap();
+    let out = OriginalOrder.reorder(&a).unwrap();
+    assert!(out.permutation.is_identity());
+    let accel = configs::gamma();
+    let direct = simulate_spgemm(&a, &a, &accel).unwrap();
+    let via_perm = simulate_spgemm(&out.permutation.apply_rows(&a).unwrap(), &a, &accel).unwrap();
+    assert_eq!(direct, via_perm);
+}
+
+/// Simulated traffic must never drop below the compulsory floor.
+#[test]
+fn traffic_respects_the_compulsory_floor() {
+    for seed in 0..5 {
+        let a = uniform_random(&GenConfig::new(300, 300).seed(seed), 0.02).unwrap();
+        for accel in configs::all() {
+            let rep = simulate_spgemm(&a, &a, &accel).unwrap();
+            assert!(rep.a_bytes >= rep.compulsory_a);
+            assert!(rep.c_bytes >= rep.compulsory_c);
+            assert!(rep.cycles >= rep.max_pe_cycles);
+        }
+    }
+}
+
+/// A permutation alone never changes nnz, shape, or row contents (as sets).
+#[test]
+fn permuted_matrices_preserve_row_multiset() {
+    let a = clustered_with_density(&GenConfig::new(120, 90).seed(12), 4, 0.9, 0.08).unwrap();
+    let p = Permutation::try_new((0..120).rev().collect()).unwrap();
+    let b = p.apply_rows(&a).unwrap();
+    assert_eq!(a.nnz(), b.nnz());
+    assert_eq!(a.shape(), b.shape());
+    for i in 0..a.nrows() {
+        assert_eq!(a.row(i), b.row(119 - i));
+    }
+}

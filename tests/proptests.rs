@@ -1,0 +1,227 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates through the public facade.
+
+use bootes::linalg::laplacian::ImplicitNormalizedLaplacian;
+use bootes::linalg::{kmeans, normalized_laplacian, KMeansConfig, LinearOperator};
+use bootes::reorder::{GammaReorderer, GraphReorderer, HierReorderer, Reorderer};
+use bootes::sparse::ops::{
+    add_scaled, block_spgemm, similarity_matrix, spgemm, spgemm_hash, BlockSparseMatrix,
+};
+use bootes::sparse::{CooMatrix, CsrMatrix, DenseMatrix, Permutation};
+use proptest::prelude::*;
+
+/// Strategy: a sparse matrix as (nrows, ncols, triplets).
+fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    (1..max_dim, 1..max_dim).prop_flat_map(move |(r, c)| {
+        proptest::collection::vec(
+            (0..r, 0..c, -5.0f64..5.0).prop_map(|(i, j, v)| (i, j, v)),
+            0..max_nnz,
+        )
+        .prop_map(move |trips| {
+            let mut coo = CooMatrix::new(r, c);
+            for (i, j, v) in trips {
+                coo.push(i, j, v).expect("in range by construction");
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+/// Strategy: a square sparse matrix.
+fn square_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2..max_dim).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            (0..n, 0..n, 0.5f64..5.0).prop_map(|(i, j, v)| (i, j, v)),
+            0..max_nnz,
+        )
+        .prop_map(move |trips| {
+            let mut coo = CooMatrix::new(n, n);
+            for (i, j, v) in trips {
+                coo.push(i, j, v).expect("in range by construction");
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR -> CSC -> CSR round-trips exactly.
+    #[test]
+    fn csr_csc_roundtrip(a in sparse_matrix(24, 80)) {
+        prop_assert_eq!(a.to_csc().to_csr(), a);
+    }
+
+    /// Transposition is an involution.
+    #[test]
+    fn transpose_involution(a in sparse_matrix(24, 80)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// Both SpGEMM kernels agree with the dense reference.
+    #[test]
+    fn spgemm_matches_dense((a, b) in (1usize..14, 1usize..14, 1usize..14).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec((0..m, 0..k, -3.0f64..3.0), 0..40).prop_map(move |t| {
+                let mut coo = CooMatrix::new(m, k);
+                for (i, j, v) in t { coo.push(i, j, v).expect("in range"); }
+                coo.to_csr()
+            }),
+            proptest::collection::vec((0..k, 0..n, -3.0f64..3.0), 0..40).prop_map(move |t| {
+                let mut coo = CooMatrix::new(k, n);
+                for (i, j, v) in t { coo.push(i, j, v).expect("in range"); }
+                coo.to_csr()
+            }),
+        )
+    })) {
+        let dense_ref = a.to_dense().matmul(&b.to_dense()).expect("shapes agree");
+        let c = spgemm(&a, &b).expect("shapes agree");
+        prop_assert!(c.to_dense().max_abs_diff(&dense_ref) < 1e-9);
+        let ch = spgemm_hash(&a, &b).expect("shapes agree");
+        prop_assert!(ch.to_dense().max_abs_diff(&dense_ref) < 1e-9);
+    }
+
+    /// The similarity matrix is symmetric with row-nnz diagonal.
+    #[test]
+    fn similarity_is_symmetric(a in sparse_matrix(20, 60)) {
+        let s = similarity_matrix(&a);
+        prop_assert_eq!(s.shape(), (a.nrows(), a.nrows()));
+        for (i, j, v) in s.iter() {
+            prop_assert_eq!(s.get(j, i), v);
+        }
+        for i in 0..a.nrows() {
+            let expected = if a.row_nnz(i) > 0 { a.row_nnz(i) as f64 } else { 0.0 };
+            prop_assert_eq!(s.get(i, i), expected);
+        }
+    }
+
+    /// Normalized-Laplacian eigenvalue range: xᵀLx / xᵀx stays in [0, 2].
+    #[test]
+    fn laplacian_rayleigh_quotient_bounded(a in square_matrix(16, 50), xs in proptest::collection::vec(-2.0f64..2.0, 16)) {
+        let s = similarity_matrix(&a);
+        let l = normalized_laplacian(&s).expect("non-negative similarities");
+        let x = &xs[..a.nrows()];
+        let norm2: f64 = x.iter().map(|v| v * v).sum();
+        prop_assume!(norm2 > 1e-9);
+        let lx = l.matvec(x).expect("square");
+        let quad: f64 = x.iter().zip(&lx).map(|(a, b)| a * b).sum();
+        let rayleigh = quad / norm2;
+        prop_assert!((-1e-9..=2.0 + 1e-9).contains(&rayleigh), "rayleigh {rayleigh}");
+    }
+
+    /// The implicit Laplacian operator equals the materialized one.
+    #[test]
+    fn implicit_laplacian_matches(a in sparse_matrix(16, 50), xs in proptest::collection::vec(-2.0f64..2.0, 16)) {
+        let l = normalized_laplacian(&similarity_matrix(&a)).expect("valid");
+        let op = ImplicitNormalizedLaplacian::new(&a);
+        let x = &xs[..a.nrows()];
+        let dense = l.matvec(x).expect("square");
+        let mut implicit = vec![0.0; a.nrows()];
+        op.apply(x, &mut implicit);
+        for (d, i) in dense.iter().zip(&implicit) {
+            prop_assert!((d - i).abs() < 1e-10, "{d} vs {i}");
+        }
+    }
+
+    /// Every baseline reorderer yields a bijection on arbitrary inputs.
+    #[test]
+    fn reorderers_emit_bijections(a in sparse_matrix(20, 60)) {
+        for algo in [
+            Box::new(GammaReorderer::default()) as Box<dyn Reorderer>,
+            Box::new(GraphReorderer::default()),
+            Box::new(HierReorderer::default()),
+        ] {
+            let out = algo.reorder(&a).expect("reorder");
+            let mut seen = vec![false; a.nrows()];
+            for &old in out.permutation.as_slice() {
+                prop_assert!(!seen[old], "{} repeated row {old}", algo.name());
+                seen[old] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    /// Permutation inverse is a two-sided inverse.
+    #[test]
+    fn permutation_inverse_two_sided(perm in proptest::collection::vec(0usize..64, 1..64).prop_map(|mut v| {
+        // Build a valid permutation from arbitrary data by sorting indices.
+        let n = v.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by_key(|&i| (v[i], i));
+        v.clear();
+        Permutation::try_new(idx).expect("bijection by construction")
+    })) {
+        let inv = perm.inverse();
+        prop_assert!(perm.compose(&inv).expect("same length").is_identity());
+        prop_assert!(inv.compose(&perm).expect("same length").is_identity());
+    }
+
+    /// K-means labels always point at the nearest centroid, and inertia is
+    /// the sum of those squared distances.
+    #[test]
+    fn kmeans_assignment_is_nearest(pts in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 4..30), k in 1usize..4) {
+        prop_assume!(k <= pts.len());
+        let n = pts.len();
+        let flat: Vec<f64> = pts.iter().flat_map(|&(x, y)| [x, y]).collect();
+        let m = DenseMatrix::from_rows(n, 2, flat);
+        let r = kmeans(&m, k, &KMeansConfig::default()).expect("valid k");
+        let mut inertia = 0.0;
+        for i in 0..n {
+            let assigned: f64 = m.row(i).iter().zip(r.centroids.row(r.labels[i])).map(|(a, b)| (a - b) * (a - b)).sum();
+            for c in 0..k {
+                let d: f64 = m.row(i).iter().zip(r.centroids.row(c)).map(|(a, b)| (a - b) * (a - b)).sum();
+                prop_assert!(assigned <= d + 1e-9);
+            }
+            inertia += assigned;
+        }
+        prop_assert!((inertia - r.inertia).abs() < 1e-6);
+    }
+
+    /// The tiled (TileSpGEMM-style) kernel agrees with row-wise SpGEMM.
+    #[test]
+    fn block_spgemm_matches_row_wise(a in square_matrix(20, 60), block in 1usize..24) {
+        let ab = BlockSparseMatrix::from_csr(&a, block).expect("valid block");
+        prop_assert_eq!(ab.to_csr(), a.clone());
+        let tiled = block_spgemm(&ab, &ab).expect("square");
+        let reference = spgemm(&a, &a).expect("square");
+        prop_assert!(tiled.to_dense().max_abs_diff(&reference.to_dense()) < 1e-9);
+    }
+
+    /// Sparse addition is commutative and `a - a = 0`.
+    #[test]
+    fn add_scaled_algebra(a in square_matrix(16, 50), b in square_matrix(16, 50)) {
+        prop_assume!(a.shape() == b.shape());
+        let ab = add_scaled(1.0, &a, 1.0, &b).expect("same shape");
+        let ba = add_scaled(1.0, &b, 1.0, &a).expect("same shape");
+        prop_assert_eq!(ab, ba);
+        let zero = add_scaled(1.0, &a, -1.0, &a).expect("same shape");
+        prop_assert_eq!(zero.nnz(), 0);
+    }
+
+    /// Reuse-profile invariants: cold + re-accesses = accesses; hit rate is
+    /// within [0, 1] and monotone in capacity.
+    #[test]
+    fn reuse_profile_invariants(a in sparse_matrix(20, 80)) {
+        let p = bootes::reorder::b_reuse_profile(&a);
+        prop_assert_eq!(p.accesses, a.nnz() as u64);
+        let re: u64 = p.histogram.iter().sum();
+        prop_assert_eq!(p.cold + re, p.accesses);
+        let mut prev = 0.0;
+        for cap in [1usize, 4, 16, 64, 1 << 20] {
+            let h = p.hit_rate_at(cap);
+            prop_assert!((0.0..=1.0).contains(&h));
+            prop_assert!(h + 1e-12 >= prev);
+            prev = h;
+        }
+    }
+
+    /// Matrix Market write -> read round-trips bit-exactly for our values.
+    #[test]
+    fn matrix_market_roundtrip(a in sparse_matrix(16, 40)) {
+        let mut buf = Vec::new();
+        bootes::sparse::io::write_matrix_market(&mut buf, &a).expect("write");
+        let back = bootes::sparse::io::read_matrix_market(buf.as_slice()).expect("read");
+        prop_assert_eq!(back, a);
+    }
+}
