@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn working_set_beyond_capacity_thrashes() {
         let mut c = LruCache::new(2, 2); // 4 lines
-        // Cyclic sweep over 8 lines with LRU: every access misses.
+                                         // Cyclic sweep over 8 lines with LRU: every access misses.
         for _ in 0..4 {
             for addr in 0..8u64 {
                 c.access(addr);

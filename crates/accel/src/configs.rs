@@ -66,7 +66,9 @@ impl AcceleratorConfig {
         }
         let clock_valid = self.clock_hz > 0.0;
         if !clock_valid {
-            return Err(AccelError::InvalidConfig("clock_hz must be positive".into()));
+            return Err(AccelError::InvalidConfig(
+                "clock_hz must be positive".into(),
+            ));
         }
         Ok(())
     }

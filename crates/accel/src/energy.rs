@@ -71,8 +71,7 @@ impl EnergyModel {
     /// granularity plus the streamed traffic passing through on-chip
     /// buffers once.
     pub fn energy(&self, report: &TrafficReport, line_bytes: usize) -> EnergyBreakdown {
-        let cache_touches =
-            (report.cache_hits + report.cache_misses) * line_bytes as u64;
+        let cache_touches = (report.cache_hits + report.cache_misses) * line_bytes as u64;
         let streamed = report.a_bytes + report.c_bytes;
         EnergyBreakdown {
             dram_pj: report.total_bytes() as f64 * self.dram_pj_per_byte,
@@ -107,7 +106,11 @@ mod tests {
     #[test]
     fn dram_dominates_with_default_costs() {
         let e = EnergyModel::default().energy(&report(50_000, 100, 800, 10_000), 64);
-        assert!(e.dram_fraction() > 0.5, "dram fraction {}", e.dram_fraction());
+        assert!(
+            e.dram_fraction() > 0.5,
+            "dram fraction {}",
+            e.dram_fraction()
+        );
         assert!(e.total_pj() > 0.0);
     }
 

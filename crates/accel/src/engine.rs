@@ -55,6 +55,7 @@ pub fn simulate_spgemm(
             right: b.shape(),
         }));
     }
+    let _span = bootes_obs::span!("accel.simulate");
 
     // Map each row of B to a contiguous, row-aligned range of cache lines.
     let mut row_first_line = Vec::with_capacity(b.nrows() + 1);
@@ -111,11 +112,13 @@ pub fn simulate_spgemm(
     }
 
     // Symbolic row-wise pass for nnz(C) (compulsory output traffic).
-    let nnz_c = symbolic_nnz(a, b);
+    let nnz_c = {
+        let _span = bootes_obs::span!("accel.symbolic");
+        symbolic_nnz(a, b)
+    };
 
     let a_bytes = a.nnz() as u64 * cfg.elem_bytes as u64 + (a.nrows() as u64 + 1) * PTR_BYTES;
-    let compulsory_b =
-        b.nnz() as u64 * cfg.elem_bytes as u64 + (b.nrows() as u64 + 1) * PTR_BYTES;
+    let compulsory_b = b.nnz() as u64 * cfg.elem_bytes as u64 + (b.nrows() as u64 + 1) * PTR_BYTES;
     let c_bytes = nnz_c * cfg.elem_bytes as u64 + (a.nrows() as u64 + 1) * PTR_BYTES;
     let b_bytes = cache.misses() * cfg.line_bytes as u64;
 
@@ -123,6 +126,24 @@ pub fn simulate_spgemm(
     let dram_cycles = (total_bytes as f64 / cfg.dram_bytes_per_cycle).ceil() as u64;
     let max_pe_cycles = pe_cycles.iter().copied().max().unwrap_or(0);
     let cycles = dram_cycles.max(max_pe_cycles);
+
+    if bootes_obs::enabled() {
+        bootes_obs::counter_add("cache.hits{operand=B}", cache.hits());
+        bootes_obs::counter_add("cache.misses{operand=B}", cache.misses());
+        bootes_obs::counter_add("accel.bytes{operand=A}", a_bytes);
+        bootes_obs::counter_add("accel.bytes{operand=B}", b_bytes);
+        bootes_obs::counter_add("accel.bytes{operand=C}", c_bytes);
+        let busy: u64 = pe_cycles.iter().sum();
+        bootes_obs::counter_add("pe.busy_cycles", busy);
+        for &c in &pe_cycles {
+            bootes_obs::histogram_record("accel.pe_cycles", c);
+        }
+        // Mean PE occupancy relative to the busiest PE's critical path.
+        if max_pe_cycles > 0 {
+            let util = busy as f64 / (max_pe_cycles as f64 * cfg.num_pes as f64);
+            bootes_obs::gauge_set("pe.utilization", util);
+        }
+    }
 
     Ok(TrafficReport {
         accelerator: cfg.name.clone(),
@@ -171,7 +192,11 @@ mod tests {
         let cols = groups * span;
         let mut coo = CooMatrix::new(n, cols);
         for r in 0..n {
-            let g = if interleave { r % groups } else { r * groups / n };
+            let g = if interleave {
+                r % groups
+            } else {
+                r * groups / n
+            };
             for c in 0..span {
                 coo.push(r, g * span + c, 1.0).unwrap();
             }

@@ -42,9 +42,9 @@ pub mod error;
 pub mod report;
 
 pub use cache::LruCache;
-pub use energy::{EnergyBreakdown, EnergyModel};
 pub use configs::AcceleratorConfig;
 pub use dataflows::{simulate_inner, simulate_outer};
+pub use energy::{EnergyBreakdown, EnergyModel};
 pub use engine::simulate_spgemm;
 pub use error::AccelError;
 pub use report::TrafficReport;

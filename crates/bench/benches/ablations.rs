@@ -10,8 +10,8 @@
 //! bench isolates the *cost* of each choice.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use bootes_core::{BootesConfig, SpectralReorderer};
 use bootes_linalg::lanczos::{lanczos_plain, lanczos_smallest, LanczosConfig};
@@ -104,13 +104,7 @@ fn bench_d4_tree_training(c: &mut Criterion) {
         })
         .collect();
     let y: Vec<usize> = (0..n).map(|i| usize::from(i % 5 == 0)).collect();
-    let ds = Dataset::new(
-        x,
-        y,
-        vec!["a".into(), "b".into(), "c".into()],
-        2,
-    )
-    .expect("consistent");
+    let ds = Dataset::new(x, y, vec!["a".into(), "b".into(), "c".into()], 2).expect("consistent");
     let balanced = TreeConfig {
         class_weights: Some(ds.balanced_class_weights()),
         ..TreeConfig::default()

@@ -3,8 +3,8 @@
 //! Laplacian assembly/application, the Lanczos eigensolve, and k-means.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use bootes_linalg::kmeans::{kmeans, KMeansConfig};
 use bootes_linalg::lanczos::{lanczos_smallest, LanczosConfig};
@@ -15,8 +15,13 @@ use bootes_sparse::DenseMatrix;
 use bootes_workloads::gen::{clustered_with_density, GenConfig};
 
 fn workload(n: usize) -> bootes_sparse::CsrMatrix {
-    clustered_with_density(&GenConfig::new(n, n).seed(n as u64), 8, 0.92, 16.0 / n as f64)
-        .expect("valid parameters")
+    clustered_with_density(
+        &GenConfig::new(n, n).seed(n as u64),
+        8,
+        0.92,
+        16.0 / n as f64,
+    )
+    .expect("valid parameters")
 }
 
 fn bench_spgemm(c: &mut Criterion) {

@@ -3,8 +3,8 @@
 //! Figure 5 (top) and Table 2.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use bootes_core::{BootesConfig, SpectralReorderer};
 use bootes_reorder::{GammaReorderer, GraphReorderer, HierReorderer, Reorderer};
@@ -43,9 +43,13 @@ fn bench_density_sweep(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(2));
     let n = 1024usize;
     for deg in [8usize, 32, 64] {
-        let a =
-            clustered_with_density(&GenConfig::new(n, n).seed(4), 16, 0.92, deg as f64 / n as f64)
-                .expect("valid parameters");
+        let a = clustered_with_density(
+            &GenConfig::new(n, n).seed(4),
+            16,
+            0.92,
+            deg as f64 / n as f64,
+        )
+        .expect("valid parameters");
         for algo in algos() {
             g.bench_with_input(BenchmarkId::new(algo.name(), deg), &a, |b, a| {
                 b.iter(|| algo.reorder(black_box(a)).expect("reorder"))

@@ -28,6 +28,7 @@ struct AblationRow {
 }
 
 fn main() {
+    bootes_bench::init_profiling();
     let scale = suite_scale();
     let accel = scaled_configs(scale).remove(0);
     println!("Ablation quality study on {} (scale {scale})\n", accel.name);
@@ -67,9 +68,18 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
-    let mut t = Table::new(["matrix", "variant", "traffic (norm. to default)", "prep ms", "peak KiB"]);
+    let mut t = Table::new([
+        "matrix",
+        "variant",
+        "traffic (norm. to default)",
+        "prep ms",
+        "peak KiB",
+    ]);
     for id in ids {
-        let entry = table3_suite().into_iter().find(|e| e.id == id).expect("known id");
+        let entry = table3_suite()
+            .into_iter()
+            .find(|e| e.id == id)
+            .expect("known id");
         let a = entry.generate(scale).expect("suite generation");
         let b = b_operand(&a);
         let mut default_bytes = 0u64;

@@ -26,6 +26,7 @@ struct Fig1Result {
 }
 
 fn main() {
+    bootes_bench::init_profiling();
     let scale = suite_scale();
     let entry = table3_suite()
         .into_iter()

@@ -24,6 +24,7 @@ struct VizResult {
 }
 
 fn main() {
+    bootes_bench::init_profiling();
     // A small invextr1-like matrix: 4 hidden clusters, scrambled rows.
     let a = clustered_with_density(&GenConfig::new(192, 192).seed(41), 4, 0.92, 24.0 / 192.0)
         .expect("valid parameters");
@@ -46,7 +47,10 @@ fn main() {
     for algo in baseline_reorderers().iter().skip(1) {
         let out = algo.reorder(&a).expect("baseline reorder");
         let m = out.permutation.apply_rows(&a).expect("sized");
-        show(&format!("({}) {}", algo.name().chars().next().unwrap(), algo.name()), &m);
+        show(
+            &format!("({}) {}", algo.name().chars().next().unwrap(), algo.name()),
+            &m,
+        );
     }
     for &k in &CANDIDATE_KS {
         let algo = SpectralReorderer::new(BootesConfig::default().with_k(k));

@@ -27,6 +27,7 @@ struct Fig3Row {
 }
 
 fn main() {
+    bootes_bench::init_profiling();
     let scale = suite_scale();
     // The smallest-cache accelerator shows the strongest k sensitivity.
     let accel = scaled_configs(scale).remove(0);
@@ -38,7 +39,10 @@ fn main() {
         model.depth(),
         model.serialized_size()
     );
-    println!("Held-out validation accuracy (70/30 split of the training corpus): {:.0}%", val_acc * 100.0);
+    println!(
+        "Held-out validation accuracy (70/30 split of the training corpus): {:.0}%",
+        val_acc * 100.0
+    );
     if std::env::args().any(|a| a == "--train-report") {
         let importances = model.feature_importances();
         let mut t = Table::new(["feature", "gini importance"]);
@@ -81,7 +85,10 @@ fn main() {
 
         // Measured-best label mirrors the training labeling rule.
         let measured = if best_k_time < original_time {
-            let idx = times.iter().position(|&t| t == best_k_time).expect("present");
+            let idx = times
+                .iter()
+                .position(|&t| t == best_k_time)
+                .expect("present");
             Label::Reorder(CANDIDATE_KS[idx])
         } else {
             Label::NoReorder
@@ -93,7 +100,10 @@ fn main() {
         let model_time = match decision.label {
             Label::NoReorder => original_time,
             Label::Reorder(k) => {
-                times[CANDIDATE_KS.iter().position(|&c| c == k).expect("candidate")]
+                times[CANDIDATE_KS
+                    .iter()
+                    .position(|&c| c == k)
+                    .expect("candidate")]
             }
         };
         model_vs_noreorder.push(original_time / model_time);
@@ -111,7 +121,11 @@ fn main() {
             };
             cells.push(format!("{}{star}", f2(time / best)));
         }
-        let star = if decision.label == Label::NoReorder { " *" } else { "" };
+        let star = if decision.label == Label::NoReorder {
+            " *"
+        } else {
+            ""
+        };
         cells.push(format!("{}{star}", f2(original_time / best)));
         cells.push(f2(model_time / best));
         t.row(cells);

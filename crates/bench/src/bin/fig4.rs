@@ -13,8 +13,8 @@ use std::collections::HashMap;
 use bootes_accel::simulate_spgemm;
 use bootes_bench::table::{f2, f3, save_json, Table};
 use bootes_bench::{
-    b_operand, baseline_reorderers, geomean, results_dir, scaled_configs,
-    suite_scale, trained_model,
+    b_operand, baseline_reorderers, geomean, results_dir, scaled_configs, suite_scale,
+    trained_model,
 };
 use bootes_core::{BootesConfig, BootesPipeline};
 use bootes_sparse::Permutation;
@@ -34,6 +34,7 @@ struct MatrixResult {
 }
 
 fn main() {
+    bootes_bench::init_profiling();
     let scale = suite_scale();
     let accels = scaled_configs(scale);
     let suite = table3_suite();
@@ -50,7 +51,10 @@ fn main() {
         let a = entry.generate(scale).expect("suite generation");
         for algo in &baselines {
             let out = algo.reorder(&a).expect("baseline reorder");
-            perms.insert((entry.name.to_string(), algo.name().to_string()), out.permutation);
+            perms.insert(
+                (entry.name.to_string(), algo.name().to_string()),
+                out.permutation,
+            );
         }
         matrices.push((entry, a));
     }
@@ -100,8 +104,17 @@ fn main() {
                     report.b_bytes as f64 / comp,
                     report.c_bytes as f64 / comp,
                 );
-                cells.push(format!("{}/{}/{} ({})", f2(an), f2(bn), f2(cn), f2(an + bn + cn)));
-                totals.entry(method).or_default().push(report.total_bytes() as f64);
+                cells.push(format!(
+                    "{}/{}/{} ({})",
+                    f2(an),
+                    f2(bn),
+                    f2(cn),
+                    f2(an + bn + cn)
+                ));
+                totals
+                    .entry(method)
+                    .or_default()
+                    .push(report.total_bytes() as f64);
                 if method == "bootes" {
                     macs_per_matrix.push(report.macs as f64);
                 }
@@ -118,10 +131,16 @@ fn main() {
             }
             t.row(cells);
         }
-        t.print(&format!("traffic normalized to compulsory — {}", accel.name));
+        t.print(&format!(
+            "traffic normalized to compulsory — {}",
+            accel.name
+        ));
 
         let bootes_tot = &totals["bootes"];
-        let mut summary = Table::new(["baseline", "geomean traffic reduction (x, Bootes vs baseline)"]);
+        let mut summary = Table::new([
+            "baseline",
+            "geomean traffic reduction (x, Bootes vs baseline)",
+        ]);
         for base in ["gamma", "graph", "hier", "original"] {
             let ratios: Vec<f64> = totals[base]
                 .iter()

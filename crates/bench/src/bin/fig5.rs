@@ -23,6 +23,7 @@ struct ScalePoint {
 }
 
 fn main() {
+    bootes_bench::init_profiling();
     let full = std::env::var("BOOTES_FULL").is_ok_and(|v| v == "1");
     let sizes: Vec<usize> = if full {
         vec![2048, 4096, 8192, 16384, 32768]

@@ -7,8 +7,8 @@
 
 use bootes_bench::table::{f2, save_json, Table};
 use bootes_bench::{
-    b_operand, baseline_reorderers, geomean, results_dir, run_reordered,
-    scaled_configs, suite_scale, trained_model,
+    b_operand, baseline_reorderers, geomean, results_dir, run_reordered, scaled_configs,
+    suite_scale, trained_model,
 };
 use bootes_core::{BootesConfig, BootesPipeline};
 use bootes_workloads::suite::table3_suite;
@@ -23,12 +23,16 @@ struct EndToEnd {
 }
 
 fn main() {
+    bootes_bench::init_profiling();
     let scale = suite_scale();
     // The paper's Figure 6 is measured on the GAMMA accelerator setup.
     let accel = scaled_configs(scale).remove(1);
     let (model, _) = trained_model(&accel, 42);
     let pipeline = BootesPipeline::new(model, BootesConfig::default()).expect("compatible");
-    println!("Figure 6 reproduction on {}: end-to-end = preprocessing + kernel time", accel.name);
+    println!(
+        "Figure 6 reproduction on {}: end-to-end = preprocessing + kernel time",
+        accel.name
+    );
 
     let mut records: Vec<EndToEnd> = Vec::new();
     let mut t = Table::new([

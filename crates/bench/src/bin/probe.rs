@@ -7,6 +7,7 @@ use bootes_reorder::{GammaReorderer, OriginalOrder};
 use bootes_workloads::suite::table3_suite;
 
 fn main() {
+    bootes_bench::init_profiling();
     let scale = suite_scale();
     let accels = scaled_configs(scale);
     let which: Vec<String> = std::env::args().skip(1).collect();

@@ -23,6 +23,7 @@ struct DataflowRow {
 }
 
 fn main() {
+    bootes_bench::init_profiling();
     let scale = suite_scale();
     println!("Table 1 reproduction: dataflow trade-offs on representative matrices\n");
     let names = ["inner", "outer", "row-wise"];
@@ -67,8 +68,13 @@ fn main() {
 
     // Simulated engines: the same trade-offs measured with caches, PEs and
     // DRAM in the loop (small matrix; the inner product visits M*N pairs).
-    let entry = table3_suite().into_iter().find(|e| e.id == "PO").expect("known id");
-    let a = entry.generate(suite_scale() * 0.5).expect("suite generation");
+    let entry = table3_suite()
+        .into_iter()
+        .find(|e| e.id == "PO")
+        .expect("known id");
+    let a = entry
+        .generate(suite_scale() * 0.5)
+        .expect("suite generation");
     let b = b_operand(&a);
     let mut accel = bootes_bench::scaled_configs(suite_scale())[0].clone();
     accel.cache_bytes = accel.cache_bytes.max(8192);
@@ -77,7 +83,14 @@ fn main() {
         bootes_accel::simulate_outer(&a, &b, &accel).expect("simulate"),
         bootes_accel::simulate_spgemm(&a, &b, &accel).expect("simulate"),
     ];
-    let mut sim = Table::new(["dataflow", "A bytes", "B bytes", "C-side bytes", "total", "cycles"]);
+    let mut sim = Table::new([
+        "dataflow",
+        "A bytes",
+        "B bytes",
+        "C-side bytes",
+        "total",
+        "cycles",
+    ]);
     for (name, r) in ["inner", "outer", "row-wise"].iter().zip(&reports) {
         sim.row([
             name.to_string(),
@@ -88,9 +101,20 @@ fn main() {
             r.cycles.to_string(),
         ]);
     }
-    sim.print(&format!("simulated dataflow engines on {} ({}x{})", entry.name, a.nrows(), a.ncols()));
-    assert!(reports[0].b_bytes >= reports[2].b_bytes, "inner must over-fetch B");
-    assert!(reports[1].c_bytes >= reports[2].c_bytes, "outer must spill psums");
+    sim.print(&format!(
+        "simulated dataflow engines on {} ({}x{})",
+        entry.name,
+        a.nrows(),
+        a.ncols()
+    ));
+    assert!(
+        reports[0].b_bytes >= reports[2].b_bytes,
+        "inner must over-fetch B"
+    );
+    assert!(
+        reports[1].c_bytes >= reports[2].c_bytes,
+        "outer must spill psums"
+    );
 
     println!("\nPaper's qualitative claims, checked on every matrix above:");
     println!("- inner product: index intersections > 0, B over-fetching maximal;");

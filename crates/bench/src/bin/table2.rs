@@ -8,8 +8,8 @@
 //! `O(r · q²)` (density-squared), Hier `O(E log E)` (moderate), Bootes
 //! linear in matrix size (excellent).
 
-use bootes_bench::table::{f2, save_json, Table};
 use bootes_bench::results_dir;
+use bootes_bench::table::{f2, save_json, Table};
 use bootes_core::{BootesConfig, SpectralReorderer};
 use bootes_reorder::{GammaReorderer, GraphReorderer, HierReorderer, Reorderer};
 use bootes_workloads::gen::{clustered_with_density, GenConfig};
@@ -44,13 +44,20 @@ fn time_of(algo: &dyn Reorderer, n: usize, deg: usize) -> f64 {
     .expect("valid parameters");
     // Median of 3 runs for stability.
     let mut times: Vec<f64> = (0..3)
-        .map(|_| algo.reorder(&a).expect("reorder").stats.elapsed.as_secs_f64())
+        .map(|_| {
+            algo.reorder(&a)
+                .expect("reorder")
+                .stats
+                .elapsed
+                .as_secs_f64()
+        })
         .collect();
     times.sort_by(f64::total_cmp);
     times[1]
 }
 
 fn main() {
+    bootes_bench::init_profiling();
     let full = std::env::var("BOOTES_FULL").is_ok_and(|v| v == "1");
     let sizes: Vec<usize> = if full {
         vec![2048, 4096, 8192, 16384]
@@ -61,7 +68,9 @@ fn main() {
     let fixed_deg = 16usize;
     let fixed_n = *sizes.last().expect("nonempty sweep");
     println!("Table 2 reproduction: empirical scaling exponents");
-    println!("size sweep {sizes:?} at degree {fixed_deg}; degree sweep {degrees:?} at n = {fixed_n}\n");
+    println!(
+        "size sweep {sizes:?} at degree {fixed_deg}; degree sweep {degrees:?} at n = {fixed_n}\n"
+    );
 
     let algos: Vec<(Box<dyn Reorderer>, &str)> = vec![
         (

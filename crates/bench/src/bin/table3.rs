@@ -23,6 +23,7 @@ struct SuiteRow {
 }
 
 fn main() {
+    bootes_bench::init_profiling();
     let scale = suite_scale();
     println!("Table 3 reproduction at scale {scale}\n");
     let mut t = Table::new([

@@ -24,6 +24,7 @@ struct SpeedupRow {
 }
 
 fn main() {
+    bootes_bench::init_profiling();
     let scale = suite_scale();
     let accels = scaled_configs(scale);
     println!("Table 4 reproduction: geomean kernel speedup over no preprocessing\n");
@@ -59,8 +60,13 @@ fn main() {
                         .apply_rows(&a)
                         .expect("sized")
                 };
-                let cycles = simulate_spgemm(&permuted, &b, accel).expect("simulate").cycles;
-                speedups.entry(method).or_default().push(base / cycles as f64);
+                let cycles = simulate_spgemm(&permuted, &b, accel)
+                    .expect("simulate")
+                    .cycles;
+                speedups
+                    .entry(method)
+                    .or_default()
+                    .push(base / cycles as f64);
             }
         }
         let mut cells = vec![accel.name.clone()];

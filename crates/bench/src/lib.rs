@@ -19,7 +19,9 @@
 use std::path::PathBuf;
 
 use bootes_accel::{configs, simulate_spgemm, AcceleratorConfig, TrafficReport};
-use bootes_core::{BootesConfig, Label, MatrixFeatures, SpectralReorderer, CANDIDATE_KS, FEATURE_NAMES};
+use bootes_core::{
+    BootesConfig, Label, MatrixFeatures, SpectralReorderer, CANDIDATE_KS, FEATURE_NAMES,
+};
 use bootes_model::{Dataset, DecisionTree, TreeConfig};
 use bootes_reorder::{ReorderStats, Reorderer};
 
@@ -31,6 +33,13 @@ pub mod viz;
 
 /// Re-exported geometric mean (used by every summary row).
 pub use bootes_model::eval::geomean;
+
+/// Enables profiling when `BOOTES_PROFILE=1` (or `true`) is set; every
+/// harness binary calls this first so `save_json` can attach the collected
+/// profile to its `results/*.json` output. Returns the enabled state.
+pub fn init_profiling() -> bool {
+    bootes_obs::init_from_env()
+}
 
 /// Evaluation scale factor: `BOOTES_FULL=1` → 1.0 (paper-scale dimensions),
 /// `BOOTES_SCALE=<f>` → `f`, default `0.02`.
@@ -118,7 +127,9 @@ pub fn end_to_end_seconds(
 /// `k` (or unreordered for `k = None`) on `accel`.
 fn traffic_at(a: &CsrMatrix, b: &CsrMatrix, k: Option<usize>, accel: &AcceleratorConfig) -> u64 {
     match k {
-        None => simulate_spgemm(a, b, accel).expect("valid operands").total_bytes(),
+        None => simulate_spgemm(a, b, accel)
+            .expect("valid operands")
+            .total_bytes(),
         Some(k) => {
             let algo = SpectralReorderer::new(BootesConfig::default().with_k(k));
             let (_, rep) = run_reordered(a, b, &algo, accel);
@@ -191,7 +202,9 @@ pub fn build_dataset(accel: &AcceleratorConfig, count: usize, seed: u64) -> Data
     }
     // Labeling is embarrassingly parallel (5 reorders + 6 simulations per
     // matrix); fan out across cores with scoped threads.
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(16);
     let chunk = corpus.len().div_ceil(threads.max(1));
     let mut results: Vec<(Vec<f64>, usize)> = Vec::with_capacity(corpus.len());
     std::thread::scope(|scope| {
@@ -221,7 +234,9 @@ pub fn build_dataset(accel: &AcceleratorConfig, count: usize, seed: u64) -> Data
 
 /// Path of the cached model for an accelerator.
 fn model_path(accel_name: &str) -> PathBuf {
-    results_dir().join("models").join(format!("{accel_name}.json"))
+    results_dir()
+        .join("models")
+        .join(format!("{accel_name}.json"))
 }
 
 /// Directory where harness outputs are written (`results/` at the workspace
@@ -258,7 +273,9 @@ pub fn trained_model(accel: &AcceleratorConfig, seed: u64) -> (DecisionTree, f64
     // nearly free and removes most seed-to-seed variance.
     let mut best: Option<(DecisionTree, f64)> = None;
     for attempt in 0..5u64 {
-        let (train, test) = ds.split(0.7, seed ^ (attempt * 0x9E3779B9)).expect("valid fraction");
+        let (train, test) = ds
+            .split(0.7, seed ^ (attempt * 0x9E3779B9))
+            .expect("valid fraction");
         let cfg = TreeConfig {
             max_depth: 10,
             min_samples_leaf: 2,

@@ -3,6 +3,8 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+use serde::Serialize as _;
+
 /// A simple left-aligned text table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -75,6 +77,11 @@ impl Table {
 
 /// Writes a serializable value as pretty JSON under the results directory.
 ///
+/// When profiling is enabled (`BOOTES_PROFILE=1`, see
+/// [`crate::init_profiling`]), the value is wrapped as
+/// `{"results": ..., "profile": ...}` with the observability snapshot
+/// attached; otherwise the value is written bare, exactly as before.
+///
 /// # Panics
 ///
 /// Panics on serialization or I/O failure (harness binaries treat output
@@ -82,8 +89,18 @@ impl Table {
 pub fn save_json<T: serde::Serialize>(dir: &Path, name: &str, value: &T) {
     std::fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(name);
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))
-        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    let mut root = value.serialize();
+    if bootes_obs::enabled() {
+        root = serde::Value::Object(vec![
+            ("results".to_string(), root),
+            ("profile".to_string(), bootes_obs::snapshot().serialize()),
+        ]);
+    }
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&root).expect("serializable"),
+    )
+    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("[saved {}]", path.display());
 }
 

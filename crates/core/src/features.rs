@@ -115,7 +115,11 @@ mod tests {
         }
         let a = coo.to_csr();
         let f = MatrixFeatures::extract(&a);
-        assert!(f.intersection_avg > 0.5, "intersection {}", f.intersection_avg);
+        assert!(
+            f.intersection_avg > 0.5,
+            "intersection {}",
+            f.intersection_avg
+        );
     }
 
     #[test]

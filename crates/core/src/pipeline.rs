@@ -6,10 +6,8 @@
 //! (see the `fig3` benchmark binary) on labels measured on the target
 //! accelerator.
 
-use std::time::Instant;
-
 use bootes_model::{DecisionTree, ModelError};
-use bootes_reorder::{ReorderError, ReorderStats, Reorderer};
+use bootes_reorder::{MemTracker, ReorderError, ReorderStats, Reorderer, StatsScope};
 use bootes_sparse::{CsrMatrix, Permutation};
 use serde::{Deserialize, Serialize};
 
@@ -173,6 +171,7 @@ impl BootesPipeline {
     ///
     /// Returns [`ModelError`] on inference failure.
     pub fn decide(&self, a: &CsrMatrix) -> Result<Decision, ModelError> {
+        let _span = bootes_obs::span!("pipeline.decide");
         let features = MatrixFeatures::extract(a).to_vec();
         let class = self.model.predict(&features)?;
         Ok(Decision {
@@ -186,25 +185,29 @@ impl BootesPipeline {
     ///
     /// Returns [`PipelineError`] if inference or reordering fails.
     pub fn preprocess(&self, a: &CsrMatrix) -> Result<PipelineOutcome, PipelineError> {
-        let start = Instant::now();
+        let scope = StatsScope::start("bootes-pipeline", "pipeline.preprocess");
+        let mut mem = MemTracker::new();
+        // Feature vector fed to the decision tree (tiny, but every exit path
+        // must report the tracker's actual high-water mark, never zero).
+        mem.alloc(crate::FEATURE_NAMES.len() * std::mem::size_of::<f64>());
         let decision = self.decide(a)?;
         match decision.label {
-            Label::NoReorder => Ok(PipelineOutcome {
-                decision,
-                permutation: Permutation::identity(a.nrows()),
-                stats: ReorderStats::new("bootes-pipeline", start.elapsed(), 0),
-            }),
+            Label::NoReorder => {
+                mem.alloc(a.nrows() * std::mem::size_of::<usize>());
+                Ok(PipelineOutcome {
+                    decision,
+                    permutation: Permutation::identity(a.nrows()),
+                    stats: scope.stats(&mem),
+                })
+            }
             Label::Reorder(k) => {
                 let reorderer = SpectralReorderer::new(self.config.clone().with_k(k));
                 let out = reorderer.reorder(a)?;
+                mem.alloc(out.stats.peak_bytes);
                 Ok(PipelineOutcome {
                     decision,
                     permutation: out.permutation,
-                    stats: ReorderStats::new(
-                        "bootes-pipeline",
-                        start.elapsed(),
-                        out.stats.peak_bytes,
-                    ),
+                    stats: scope.stats(&mem),
                 })
             }
         }
@@ -263,6 +266,9 @@ mod tests {
         let out = pipeline.preprocess(&a).unwrap();
         assert!(!out.decision.should_reorder());
         assert!(out.permutation.is_identity());
+        // Regression: the NoReorder path must still report the tracked
+        // footprint (features + identity permutation), not a hardcoded zero.
+        assert!(out.stats.peak_bytes > 0);
     }
 
     #[test]

@@ -11,11 +11,9 @@
 //! This is an *extension* beyond the paper's deployed algorithm, compared
 //! against flat spectral clustering in the `ablations` harness.
 
-use std::time::Instant;
-
 use bootes_linalg::lanczos::{lanczos_smallest, LanczosConfig};
 use bootes_linalg::laplacian::ImplicitNormalizedLaplacian;
-use bootes_reorder::{MemTracker, ReorderError, ReorderOutcome, ReorderStats, Reorderer};
+use bootes_reorder::{MemTracker, ReorderError, ReorderOutcome, Reorderer, StatsScope};
 use bootes_sparse::{CsrMatrix, Permutation};
 
 /// Configuration for [`RecursiveSpectralReorderer`].
@@ -91,6 +89,7 @@ impl RecursiveSpectralReorderer {
             out.extend_from_slice(&rows);
             return Ok(());
         }
+        let _span = bootes_obs::span!("spectral.bisect");
         // Extract the row subset as its own matrix (columns unchanged).
         let mut indptr = Vec::with_capacity(rows.len() + 1);
         let mut indices = Vec::new();
@@ -149,7 +148,7 @@ impl Reorderer for RecursiveSpectralReorderer {
     }
 
     fn reorder(&self, a: &CsrMatrix) -> Result<ReorderOutcome, ReorderError> {
-        let start = Instant::now();
+        let scope = StatsScope::start(self.name(), "reorder.recursive");
         let n = a.nrows();
         let mut mem = MemTracker::new();
         let mut order = Vec::with_capacity(n);
@@ -157,7 +156,7 @@ impl Reorderer for RecursiveSpectralReorderer {
         mem.alloc(n * std::mem::size_of::<usize>());
         Ok(ReorderOutcome {
             permutation: Permutation::try_new(order)?,
-            stats: ReorderStats::new(self.name(), start.elapsed(), mem.peak_bytes()),
+            stats: scope.stats(&mem),
         })
     }
 }
@@ -226,6 +225,16 @@ mod tests {
         // One split only: both halves stay in original relative order.
         let out = shallow.reorder(&a).unwrap();
         assert_eq!(out.permutation.len(), 256);
+    }
+
+    #[test]
+    fn nonempty_matrices_report_nonzero_footprint() {
+        for n in [1usize, 2, 3] {
+            let out = RecursiveSpectralReorderer::default()
+                .reorder(&CsrMatrix::identity(n))
+                .unwrap();
+            assert!(out.stats.peak_bytes > 0, "n={n} reported peak_bytes == 0");
+        }
     }
 
     #[test]

@@ -1,11 +1,9 @@
 //! The spectral-clustering row reorderer (Algorithm 4 of the paper).
 
-use std::time::Instant;
-
 use bootes_linalg::kmeans::{kmeans, KMeansConfig};
 use bootes_linalg::lanczos::{lanczos_smallest, Eigenpairs, LanczosConfig};
 use bootes_linalg::laplacian::{normalized_laplacian, ImplicitNormalizedLaplacian};
-use bootes_reorder::{MemTracker, ReorderError, ReorderOutcome, ReorderStats, Reorderer};
+use bootes_reorder::{MemTracker, ReorderError, ReorderOutcome, Reorderer, StatsScope};
 use bootes_sparse::ops::similarity_matrix;
 use bootes_sparse::{CsrMatrix, DenseMatrix, Permutation};
 
@@ -88,8 +86,7 @@ impl SpectralReorderer {
         // k-cluster structure; extra vectors (extra_embed, design D1b)
         // expose finer intra-cluster structure used by the within-cluster
         // ordering.
-        let k_embed =
-            (k + self.config.extra_embed.min(k)).clamp(k, n.saturating_sub(1).max(k));
+        let k_embed = (k + self.config.extra_embed.min(k)).clamp(k, n.saturating_sub(1).max(k));
         let lcfg = LanczosConfig {
             tol: self.config.eig_tol,
             max_restarts: self.config.max_restarts,
@@ -106,24 +103,39 @@ impl SpectralReorderer {
         let eig: Eigenpairs = if self.config.materialize_similarity {
             // Ablation D3: Algorithm 4 verbatim — materialize S, then L,
             // freeing S as soon as L exists (paper §5.3).
-            let similarity = similarity_matrix(a);
+            let similarity = {
+                let _span = bootes_obs::span!("spectral.similarity");
+                similarity_matrix(a)
+            };
             mem.alloc(similarity.heap_bytes());
-            let laplacian = normalized_laplacian(&similarity)
-                .map_err(|e| ReorderError::Numerical(e.to_string()))?;
+            let laplacian = {
+                let _span = bootes_obs::span!("spectral.laplacian");
+                normalized_laplacian(&similarity)
+                    .map_err(|e| ReorderError::Numerical(e.to_string()))?
+            };
             mem.alloc(laplacian.heap_bytes());
             mem.free(similarity.heap_bytes());
             drop(similarity);
-            let eig = lanczos_smallest(&laplacian, k_embed, &lcfg)
-                .map_err(|e| ReorderError::Numerical(e.to_string()))?;
+            let eig = {
+                let _span = bootes_obs::span!("spectral.lanczos");
+                lanczos_smallest(&laplacian, k_embed, &lcfg)
+                    .map_err(|e| ReorderError::Numerical(e.to_string()))?
+            };
             mem.free(laplacian.heap_bytes());
             eig
         } else {
             // Default: implicit Laplacian — two SpMVs with the binary
             // pattern per application, no similarity matrix at all.
-            let op = ImplicitNormalizedLaplacian::new(a);
+            let op = {
+                let _span = bootes_obs::span!("spectral.laplacian");
+                ImplicitNormalizedLaplacian::new(a)
+            };
             mem.alloc(op.heap_bytes());
-            let eig = lanczos_smallest(&op, k_embed, &lcfg)
-                .map_err(|e| ReorderError::Numerical(e.to_string()))?;
+            let eig = {
+                let _span = bootes_obs::span!("spectral.lanczos");
+                lanczos_smallest(&op, k_embed, &lcfg)
+                    .map_err(|e| ReorderError::Numerical(e.to_string()))?
+            };
             mem.free(op.heap_bytes());
             eig
         };
@@ -148,8 +160,10 @@ impl SpectralReorderer {
             seed: self.config.seed ^ 0x5EED,
             ..KMeansConfig::default()
         };
-        let km = kmeans(&embedding, k, &kcfg)
-            .map_err(|e| ReorderError::Numerical(e.to_string()))?;
+        let km = {
+            let _span = bootes_obs::span!("spectral.kmeans");
+            kmeans(&embedding, k, &kcfg).map_err(|e| ReorderError::Numerical(e.to_string()))?
+        };
         Ok((km.labels, embedding))
     }
 }
@@ -160,13 +174,15 @@ impl Reorderer for SpectralReorderer {
     }
 
     fn reorder(&self, a: &CsrMatrix) -> Result<ReorderOutcome, ReorderError> {
-        let start = Instant::now();
+        let scope = StatsScope::start(self.name(), "reorder.spectral");
         let n = a.nrows();
         let mut mem = MemTracker::new();
         if n <= 2 {
+            // Even the degenerate path materializes the identity permutation.
+            mem.alloc(n * std::mem::size_of::<usize>());
             return Ok(ReorderOutcome {
                 permutation: Permutation::identity(n),
-                stats: ReorderStats::new(self.name(), start.elapsed(), 0),
+                stats: scope.stats(&mem),
             });
         }
         let (labels, embedding) = self.cluster_tracked(a, &mut mem)?;
@@ -179,6 +195,7 @@ impl Reorderer for SpectralReorderer {
         // near-identical column supports have near-identical embeddings and
         // become adjacent, so a cluster containing several distinct row
         // patterns lays each pattern out contiguously.
+        let _order_span = bootes_obs::span!("spectral.order");
         let fiedler_col = if embedding.ncols() > 1 { 1 } else { 0 };
         let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
         for (row, &label) in labels.iter().enumerate() {
@@ -205,7 +222,7 @@ impl Reorderer for SpectralReorderer {
         let permutation = Permutation::try_new(p)?;
         Ok(ReorderOutcome {
             permutation,
-            stats: ReorderStats::new(self.name(), start.elapsed(), mem.peak_bytes()),
+            stats: scope.stats(&mem),
         })
     }
 }
@@ -263,9 +280,9 @@ fn cluster_mean(members: &[usize], embedding: &DenseMatrix, col: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bootes_sparse::CooMatrix;
     use bootes_workloads::gen::{clustered, GenConfig};
     use bootes_workloads::scramble_rows;
-    use bootes_sparse::CooMatrix;
 
     /// Block matrix with `k` groups of identical rows, scrambled.
     fn scrambled_blocks(n: usize, k: usize, span: usize, seed: u64) -> CsrMatrix {
@@ -287,9 +304,7 @@ mod tests {
         if n < 2 {
             return 1.0;
         }
-        let same = (0..n - 1)
-            .filter(|&i| b.row(i).0 == b.row(i + 1).0)
-            .count();
+        let same = (0..n - 1).filter(|&i| b.row(i).0 == b.row(i + 1).0).count();
         same as f64 / (n - 1) as f64
     }
 
@@ -318,10 +333,7 @@ mod tests {
     fn rejects_k_below_two() {
         let a = scrambled_blocks(32, 2, 4, 1);
         let r = SpectralReorderer::new(BootesConfig::default().with_k(1));
-        assert!(matches!(
-            r.reorder(&a),
-            Err(ReorderError::InvalidConfig(_))
-        ));
+        assert!(matches!(r.reorder(&a), Err(ReorderError::InvalidConfig(_))));
     }
 
     #[test]
@@ -373,6 +385,18 @@ mod tests {
         .reorder(&a)
         .unwrap();
         assert_eq!(refined.permutation.len(), plain.permutation.len());
+    }
+
+    #[test]
+    fn nonempty_matrices_report_nonzero_footprint() {
+        // Regression: the n <= 2 early exit must still report the tracked
+        // footprint of the identity permutation, not a hardcoded zero.
+        for n in [1usize, 2, 3] {
+            let out = SpectralReorderer::default()
+                .reorder(&CsrMatrix::identity(n))
+                .unwrap();
+            assert!(out.stats.peak_bytes > 0, "n={n} reported peak_bytes == 0");
+        }
     }
 
     #[test]

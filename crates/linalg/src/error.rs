@@ -28,7 +28,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 routine,
                 iterations,
-            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} did not converge after {iterations} iterations"
+            ),
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             LinalgError::NumericalBreakdown(msg) => write!(f, "numerical breakdown: {msg}"),
         }

@@ -127,7 +127,11 @@ pub fn jacobi_eigen(a: &DenseMatrix) -> Result<(Vec<f64>, DenseMatrix), LinalgEr
 fn sorted_pairs(m: DenseMatrix, v: DenseMatrix) -> (Vec<f64>, DenseMatrix) {
     let n = m.nrows();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| {
+        m[(i, i)]
+            .partial_cmp(&m[(j, j)])
+            .expect("finite eigenvalues")
+    });
     let vals: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
     let mut vecs = DenseMatrix::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {

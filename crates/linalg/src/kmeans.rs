@@ -103,13 +103,17 @@ pub fn kmeans(
 
     let mut best: Option<KMeansResult> = None;
     for init in 0..cfg.n_init.max(1) {
+        let _run_span = bootes_obs::span!("kmeans.run");
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(init as u64));
         let run = lloyd(points, k, cfg, &mut rng);
+        bootes_obs::counter_add("kmeans.iterations", run.iterations as u64);
         if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
             best = Some(run);
         }
     }
-    Ok(best.expect("at least one init"))
+    let best = best.expect("at least one init");
+    bootes_obs::gauge_set("kmeans.inertia", best.inertia);
+    Ok(best)
 }
 
 fn plus_plus_init(points: &DenseMatrix, k: usize, rng: &mut StdRng) -> Vec<usize> {

@@ -72,6 +72,19 @@ pub struct Eigenpairs {
     pub residuals: Vec<f64>,
 }
 
+/// Publishes per-solve observability: matvec/iteration/restart counters and
+/// the worst residual among the returned pairs. No-op unless profiling is on.
+fn record_solve_metrics(matvecs: usize, iterations: usize, restarts: usize, residuals: &[f64]) {
+    bootes_obs::counter_add("lanczos.matvecs", matvecs as u64);
+    bootes_obs::counter_add("lanczos.iterations", iterations as u64);
+    bootes_obs::counter_add("lanczos.restarts", restarts as u64);
+    if let Some(worst) = residuals.iter().copied().fold(None, |acc: Option<f64>, r| {
+        Some(acc.map_or(r, |a| a.max(r)))
+    }) {
+        bootes_obs::gauge_set("lanczos.residual", worst);
+    }
+}
+
 fn random_unit(n: usize, rng: &mut StdRng) -> Vec<f64> {
     let mut v: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
     if normalize(&mut v) == 0.0 {
@@ -161,6 +174,7 @@ pub fn lanczos_smallest<A: LinearOperator + ?Sized>(
     let mut beta_last = 0.0f64;
 
     for restart in 0..cfg.max_restarts {
+        let _restart_span = bootes_obs::span!("lanczos.restart");
         // Extend the basis up to dimension m.
         while basis.len() < m {
             let j = basis.len();
@@ -224,9 +238,8 @@ pub fn lanczos_smallest<A: LinearOperator + ?Sized>(
         } else {
             cfg.converge_k.min(k)
         };
-        let converged = (0..need).all(|i| {
-            beta_last * y[(dim - 1, i)].abs() <= cfg.tol * theta[i].abs().max(1.0)
-        });
+        let converged = (0..need)
+            .all(|i| beta_last * y[(dim - 1, i)].abs() <= cfg.tol * theta[i].abs().max(1.0));
 
         if converged || restart + 1 == cfg.max_restarts || dim < m {
             if !converged && dim >= m && !cfg.allow_unconverged {
@@ -246,6 +259,7 @@ pub fn lanczos_smallest<A: LinearOperator + ?Sized>(
                 residuals.push(beta_last * y[(dim - 1, i)].abs());
                 vectors.push(x);
             }
+            record_solve_metrics(matvecs, matvecs, restart, &residuals);
             return Ok(Eigenpairs {
                 eigenvalues: theta[..k].to_vec(),
                 eigenvectors: vectors,
@@ -289,6 +303,7 @@ fn dense_fallback<A: LinearOperator + ?Sized>(
     k: usize,
     n: usize,
 ) -> Result<Eigenpairs, LinalgError> {
+    let _span = bootes_obs::span!("lanczos.dense_fallback");
     let mut dense = DenseMatrix::zeros(n, n);
     let mut e = vec![0.0; n];
     let mut col = vec![0.0; n];
@@ -318,12 +333,14 @@ fn dense_fallback<A: LinearOperator + ?Sized>(
     for i in 0..k {
         vectors.push((0..n).map(|r| vecs[(r, i)]).collect());
     }
+    let residuals = vec![0.0; k];
+    record_solve_metrics(n, 0, 0, &residuals);
     Ok(Eigenpairs {
         eigenvalues: vals[..k].to_vec(),
         eigenvectors: vectors,
         matvecs: n,
         restarts: 0,
-        residuals: vec![0.0; k],
+        residuals,
     })
 }
 
@@ -359,6 +376,7 @@ pub fn lanczos_plain<A: LinearOperator + ?Sized>(
     if n <= k + 1 {
         return dense_fallback(a, k, n);
     }
+    let _sweep_span = bootes_obs::span!("lanczos.sweep");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut alpha = Vec::with_capacity(m);
@@ -408,6 +426,7 @@ pub fn lanczos_plain<A: LinearOperator + ?Sized>(
         axpy(-val, x, &mut w);
         residuals.push(crate::vecops::norm2(&w));
     }
+    record_solve_metrics(matvecs, dim, 0, &residuals);
     Ok(Eigenpairs {
         eigenvalues: theta[..kk].to_vec(),
         eigenvectors: vectors,

@@ -91,7 +91,9 @@ pub fn normalized_laplacian(similarity: &CsrMatrix) -> Result<CsrMatrix, LinalgE
         }
         indptr.push(indices.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(n, n, indptr, indices, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        n, n, indptr, indices, values,
+    ))
 }
 
 /// The normalized Laplacian of the row-similarity graph applied *implicitly*:
@@ -168,11 +170,7 @@ impl crate::operator::LinearOperator for ImplicitNormalizedLaplacian {
         }
         self.at_bin.matvec_into(&scaled, &mut cols);
         self.a_bin.matvec_into(&cols, &mut scaled);
-        for ((yi, &xi), (&s, &w)) in y
-            .iter_mut()
-            .zip(x)
-            .zip(scaled.iter().zip(&self.inv_sqrt))
-        {
+        for ((yi, &xi), (&s, &w)) in y.iter_mut().zip(x).zip(scaled.iter().zip(&self.inv_sqrt)) {
             *yi = xi - w * s;
         }
     }

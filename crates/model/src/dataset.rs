@@ -196,7 +196,14 @@ mod tests {
 
     fn toy() -> Dataset {
         Dataset::new(
-            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![5.0]],
+            vec![
+                vec![0.0],
+                vec![1.0],
+                vec![2.0],
+                vec![3.0],
+                vec![4.0],
+                vec![5.0],
+            ],
             vec![0, 0, 0, 0, 1, 1],
             vec!["f".into()],
             2,

@@ -41,8 +41,14 @@ pub fn macro_f1(truth: &[usize], pred: &[usize], n_classes: usize) -> f64 {
     let mut present = 0usize;
     for c in 0..n_classes {
         let tp = m[c][c] as f64;
-        let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
-        let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
+        let fn_: f64 = (0..n_classes)
+            .filter(|&p| p != c)
+            .map(|p| m[c][p] as f64)
+            .sum();
+        let fp: f64 = (0..n_classes)
+            .filter(|&t| t != c)
+            .map(|t| m[t][c] as f64)
+            .sum();
         if tp + fn_ == 0.0 {
             continue; // class absent from truth
         }

@@ -39,8 +39,15 @@ impl Default for GbtConfig {
 /// A node of a regression tree (flattened arena).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum RegNode {
-    Leaf { value: f64 },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A regression tree fitted to per-sample gradients.
@@ -55,8 +62,17 @@ impl RegTree {
         loop {
             match &self.nodes[idx] {
                 RegNode::Leaf { value } => return *value,
-                RegNode::Split { feature, threshold, left, right } => {
-                    idx = if x[*feature] <= *threshold { *left } else { *right };
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -96,7 +112,10 @@ impl RegBuilder<'_> {
             .iter()
             .map(|&i| (self.residuals[i] - mean).powi(2))
             .sum();
-        if depth >= self.cfg.max_depth || idx_set.len() < 2 * self.cfg.min_samples_leaf || sse < 1e-12 {
+        if depth >= self.cfg.max_depth
+            || idx_set.len() < 2 * self.cfg.min_samples_leaf
+            || sse < 1e-12
+        {
             let value = self.leaf_value(idx_set);
             self.nodes.push(RegNode::Leaf { value });
             return self.nodes.len() - 1;
@@ -149,7 +168,12 @@ impl RegBuilder<'_> {
                 self.nodes.push(RegNode::Leaf { value: 0.0 });
                 let left = self.build(&l, depth + 1);
                 let right = self.build(&r, depth + 1);
-                self.nodes[me] = RegNode::Split { feature, threshold, left, right };
+                self.nodes[me] = RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 me
             }
         }
@@ -224,7 +248,9 @@ impl GradientBoostedTrees {
                     nodes: Vec::new(),
                 };
                 builder.build(&all, 0);
-                let tree = RegTree { nodes: builder.nodes };
+                let tree = RegTree {
+                    nodes: builder.nodes,
+                };
                 for (i, s) in scores.iter_mut().enumerate() {
                     s[c] += cfg.learning_rate * tree.predict(ds.features(i));
                 }
@@ -311,7 +337,10 @@ mod tests {
         let mut y = Vec::new();
         for i in 0..45 {
             let c = i % 3;
-            x.push(vec![c as f64 * 5.0 + (i % 4) as f64 * 0.2, -(c as f64) * 3.0]);
+            x.push(vec![
+                c as f64 * 5.0 + (i % 4) as f64 * 0.2,
+                -(c as f64) * 3.0,
+            ]);
             y.push(c);
         }
         Dataset::new(x, y, vec!["u".into(), "v".into()], 3).unwrap()
@@ -331,7 +360,11 @@ mod tests {
         let ds = three_blobs();
         let t = GradientBoostedTrees::fit(&ds, &GbtConfig::default()).unwrap();
         for i in 0..ds.len() {
-            assert_eq!(t.predict(ds.features(i)).unwrap(), ds.label(i), "sample {i}");
+            assert_eq!(
+                t.predict(ds.features(i)).unwrap(),
+                ds.label(i),
+                "sample {i}"
+            );
         }
     }
 
@@ -340,12 +373,18 @@ mod tests {
         let ds = three_blobs();
         let short = GradientBoostedTrees::fit(
             &ds,
-            &GbtConfig { n_rounds: 2, ..GbtConfig::default() },
+            &GbtConfig {
+                n_rounds: 2,
+                ..GbtConfig::default()
+            },
         )
         .unwrap();
         let long = GradientBoostedTrees::fit(
             &ds,
-            &GbtConfig { n_rounds: 30, ..GbtConfig::default() },
+            &GbtConfig {
+                n_rounds: 30,
+                ..GbtConfig::default()
+            },
         )
         .unwrap();
         let acc = |m: &GradientBoostedTrees| {
@@ -374,11 +413,35 @@ mod tests {
     #[test]
     fn rejects_bad_config_and_inputs() {
         let ds = three_blobs();
-        assert!(GradientBoostedTrees::fit(&ds, &GbtConfig { n_rounds: 0, ..GbtConfig::default() }).is_err());
-        assert!(GradientBoostedTrees::fit(&ds, &GbtConfig { learning_rate: 0.0, ..GbtConfig::default() }).is_err());
-        assert!(GradientBoostedTrees::fit(&ds, &GbtConfig { max_depth: 0, ..GbtConfig::default() }).is_err());
+        assert!(GradientBoostedTrees::fit(
+            &ds,
+            &GbtConfig {
+                n_rounds: 0,
+                ..GbtConfig::default()
+            }
+        )
+        .is_err());
+        assert!(GradientBoostedTrees::fit(
+            &ds,
+            &GbtConfig {
+                learning_rate: 0.0,
+                ..GbtConfig::default()
+            }
+        )
+        .is_err());
+        assert!(GradientBoostedTrees::fit(
+            &ds,
+            &GbtConfig {
+                max_depth: 0,
+                ..GbtConfig::default()
+            }
+        )
+        .is_err());
         let m = GradientBoostedTrees::fit(&ds, &GbtConfig::default()).unwrap();
-        assert!(matches!(m.predict(&[1.0]), Err(ModelError::FeatureMismatch { .. })));
+        assert!(matches!(
+            m.predict(&[1.0]),
+            Err(ModelError::FeatureMismatch { .. })
+        ));
         let empty = Dataset::new(vec![], vec![], vec!["f".into()], 2).unwrap();
         assert!(GradientBoostedTrees::fit(&empty, &GbtConfig::default()).is_err());
     }

@@ -226,7 +226,11 @@ mod tests {
         let correct = (0..ds.len())
             .filter(|&i| svm.predict(ds.features(i)).unwrap() == ds.label(i))
             .count();
-        assert!(correct >= ds.len() - 2, "only {correct}/{} correct", ds.len());
+        assert!(
+            correct >= ds.len() - 2,
+            "only {correct}/{} correct",
+            ds.len()
+        );
     }
 
     #[test]
@@ -263,11 +267,35 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let ds = blobs();
-        assert!(LinearSvm::fit(&ds, &SvmConfig { epochs: 0, ..SvmConfig::default() }).is_err());
-        assert!(LinearSvm::fit(&ds, &SvmConfig { learning_rate: 0.0, ..SvmConfig::default() }).is_err());
-        assert!(LinearSvm::fit(&ds, &SvmConfig { lambda: -1.0, ..SvmConfig::default() }).is_err());
+        assert!(LinearSvm::fit(
+            &ds,
+            &SvmConfig {
+                epochs: 0,
+                ..SvmConfig::default()
+            }
+        )
+        .is_err());
+        assert!(LinearSvm::fit(
+            &ds,
+            &SvmConfig {
+                learning_rate: 0.0,
+                ..SvmConfig::default()
+            }
+        )
+        .is_err());
+        assert!(LinearSvm::fit(
+            &ds,
+            &SvmConfig {
+                lambda: -1.0,
+                ..SvmConfig::default()
+            }
+        )
+        .is_err());
         let svm = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
-        assert!(matches!(svm.predict(&[0.0]), Err(ModelError::FeatureMismatch { .. })));
+        assert!(matches!(
+            svm.predict(&[0.0]),
+            Err(ModelError::FeatureMismatch { .. })
+        ));
         let empty = Dataset::new(vec![], vec![], vec!["f".into()], 2).unwrap();
         assert!(LinearSvm::fit(&empty, &SvmConfig::default()).is_err());
     }

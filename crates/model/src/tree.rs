@@ -145,9 +145,7 @@ impl DecisionTree {
     ///
     /// Returns [`ModelError::FeatureMismatch`] if `x` has the wrong length.
     pub fn predict(&self, x: &[f64]) -> Result<usize, ModelError> {
-        Ok(self
-            .leaf(x)?
-            .0)
+        Ok(self.leaf(x)?.0)
     }
 
     /// Predicts the class-probability distribution of one feature vector.
@@ -177,7 +175,11 @@ impl DecisionTree {
                     right,
                     ..
                 } => {
-                    idx = if x[*feature] <= *threshold { *left } else { *right };
+                    idx = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -333,7 +335,10 @@ impl Builder<'_> {
         let (counts, total_w) = self.weighted_counts(idx_set);
         let node_impurity = gini(&counts, total_w);
         let majority = argmax(&counts);
-        let proba: Vec<f64> = counts.iter().map(|&c| if total_w > 0.0 { c / total_w } else { 0.0 }).collect();
+        let proba: Vec<f64> = counts
+            .iter()
+            .map(|&c| if total_w > 0.0 { c / total_w } else { 0.0 })
+            .collect();
 
         let make_leaf = depth >= self.cfg.max_depth
             || idx_set.len() < self.cfg.min_samples_split
@@ -454,7 +459,10 @@ fn gini(counts: &[f64], total: f64) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|&c| (c / total) * (c / total))
+        .sum::<f64>()
 }
 
 fn argmax(xs: &[f64]) -> usize {

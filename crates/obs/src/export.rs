@@ -1,0 +1,119 @@
+//! Profile exporters: human-readable table, JSON, and Chrome trace-event
+//! format (loadable in `chrome://tracing` / Perfetto).
+
+use crate::profile::{Profile, SpanNode};
+use crate::registry::registry;
+use serde::Value;
+
+/// Renders `ns` as a compact human duration (`812ns`, `4.31µs`, `12.5ms`…).
+pub fn fmt_ns(ns: u64) -> String {
+    let ns_f = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns_f / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns_f / 1e6)
+    } else {
+        format!("{:.2}s", ns_f / 1e9)
+    }
+}
+
+fn push_span_rows(out: &mut String, nodes: &[SpanNode], depth: usize) {
+    for node in nodes {
+        let indent = "  ".repeat(depth);
+        let label = format!("{indent}{}", node.name);
+        out.push_str(&format!(
+            "  {label:<42} {:>8} {:>12} {:>12} {:>12}\n",
+            node.count,
+            fmt_ns(node.total_ns),
+            fmt_ns(node.mean_ns()),
+            fmt_ns(node.max_ns),
+        ));
+        push_span_rows(out, &node.children, depth + 1);
+    }
+}
+
+/// Renders the profile as the stderr-friendly table printed by `--profile`.
+pub fn render_table(profile: &Profile) -> String {
+    let mut out = String::new();
+    out.push_str("== bootes profile ==\n");
+    if profile.meta.dropped_span_events > 0 {
+        out.push_str(&format!(
+            "  (span record cap hit: {} events dropped)\n",
+            profile.meta.dropped_span_events
+        ));
+    }
+
+    if !profile.spans.is_empty() {
+        out.push_str(&format!(
+            "  {:<42} {:>8} {:>12} {:>12} {:>12}\n",
+            "span", "count", "total", "mean", "max"
+        ));
+        push_span_rows(&mut out, &profile.spans, 0);
+    }
+
+    if !profile.counters.is_empty() {
+        out.push_str("  -- counters --\n");
+        for c in &profile.counters {
+            out.push_str(&format!("  {:<42} {:>20}\n", c.name, c.value));
+        }
+    }
+
+    if !profile.gauges.is_empty() {
+        out.push_str("  -- gauges --\n");
+        for g in &profile.gauges {
+            out.push_str(&format!("  {:<42} {:>20.6}\n", g.name, g.value));
+        }
+    }
+
+    if !profile.histograms.is_empty() {
+        out.push_str("  -- histograms --\n");
+        for h in &profile.histograms {
+            let mean = h.sum.checked_div(h.count).unwrap_or(0);
+            out.push_str(&format!(
+                "  {:<42} n={} min={} mean={} max={}\n",
+                h.name, h.count, h.min, mean, h.max
+            ));
+        }
+    }
+    out
+}
+
+/// Serializes the profile as pretty-printed JSON.
+pub fn export_json(profile: &Profile) -> String {
+    serde_json::to_string_pretty(profile).expect("profile serializes")
+}
+
+/// Exports the raw span records in Chrome trace-event JSON: an object with a
+/// `traceEvents` array of complete (`"ph": "X"`) events whose `ts`/`dur` are
+/// microseconds from the profile epoch.
+pub fn export_chrome_trace() -> String {
+    let reg = registry();
+    let records = reg.spans.lock().unwrap();
+    let events: Vec<Value> = records
+        .iter()
+        .map(|r| {
+            let name = r.path.rsplit('/').next().unwrap_or(&r.path);
+            Value::Object(vec![
+                ("name".to_string(), Value::Str(name.to_string())),
+                ("cat".to_string(), Value::Str("bootes".to_string())),
+                ("ph".to_string(), Value::Str("X".to_string())),
+                ("ts".to_string(), Value::Float(r.start_ns as f64 / 1e3)),
+                ("dur".to_string(), Value::Float(r.dur_ns as f64 / 1e3)),
+                ("pid".to_string(), Value::UInt(1)),
+                ("tid".to_string(), Value::UInt(r.tid)),
+                (
+                    "args".to_string(),
+                    Value::Object(vec![("path".to_string(), Value::Str(r.path.clone()))]),
+                ),
+            ])
+        })
+        .collect();
+    drop(records);
+    let trace = Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(events)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string(&trace).expect("trace serializes")
+}

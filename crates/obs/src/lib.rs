@@ -1,0 +1,298 @@
+//! Observability for the Bootes preprocessing + simulation pipeline:
+//! scoped spans, a metrics registry, and profile exporters.
+//!
+//! Everything funnels into one process-wide registry behind a single
+//! `AtomicBool` gate. While profiling is disabled (the default) every
+//! instrumentation call is a relaxed atomic load and a branch — no clock
+//! reads, no locks, no allocation — so instrumented hot paths stay within
+//! noise of uninstrumented builds. Enable with [`set_enabled`] or the
+//! `BOOTES_PROFILE=1` environment variable via [`init_from_env`] (the CLI
+//! does both for `--profile`).
+//!
+//! # Spans
+//!
+//! [`span!`] opens a scope whose wall-time is recorded on drop into a
+//! hierarchical timer tree (nesting follows a thread-local span stack).
+//! [`TimedScope`] is the always-timed variant for components whose public
+//! results embed an elapsed duration (e.g. `ReorderStats`).
+//!
+//! # Exporters
+//!
+//! [`snapshot`] captures a serializable [`Profile`] (top-level JSON keys:
+//! `meta`, `spans`, `counters`, `gauges`, `histograms`);
+//! [`render_table`] renders it for stderr; [`export_json`] pretty-prints
+//! it; [`export_chrome_trace`] emits Chrome trace-event JSON (open in
+//! `chrome://tracing` or Perfetto).
+//!
+//! # Metric catalog
+//!
+//! Span names (hierarchy shown flat; actual nesting depends on call paths):
+//!
+//! | span | recorded by |
+//! |------|-------------|
+//! | `pipeline.preprocess` | `bootes-core` — full preprocessing pass |
+//! | `pipeline.decide` | `bootes-core` — model-driven label decision |
+//! | `reorder.gamma` / `reorder.graph` / `reorder.hier` / `reorder.spectral` / `reorder.recursive` | each `Reorderer::reorder` implementation |
+//! | `spectral.similarity` / `spectral.laplacian` / `spectral.lanczos` / `spectral.kmeans` / `spectral.order` | spectral clustering stages |
+//! | `spectral.bisect` | recursive bisection levels |
+//! | `lanczos.restart` | `bootes-linalg` — one thick-restart outer iteration |
+//! | `lanczos.sweep` | `bootes-linalg` — one plain (non-restarted) Lanczos sweep |
+//! | `lanczos.dense_fallback` | `bootes-linalg` — dense eigensolver fallback |
+//! | `kmeans.run` | `bootes-linalg` — one seeded k-means attempt |
+//! | `accel.simulate` | `bootes-accel` — full SpGEMM simulation |
+//! | `accel.symbolic` | `bootes-accel` — symbolic output sizing |
+//! | `spgemm.dense_acc` / `spgemm.hash_acc` / `spgemm.block` | `bootes-sparse` kernels |
+//!
+//! Counters:
+//!
+//! | counter | meaning |
+//! |---------|---------|
+//! | `lanczos.matvecs` | operator applications across all solves |
+//! | `lanczos.restarts` | thick-restart outer iterations |
+//! | `lanczos.iterations` | inner Lanczos steps |
+//! | `kmeans.iterations` | Lloyd iterations across all attempts |
+//! | `spgemm.flops` | multiply-accumulates performed by sparse kernels |
+//! | `cache.hits{operand=B}` / `cache.misses{operand=B}` | accelerator B-row cache outcomes |
+//! | `accel.bytes{operand=A}` / `accel.bytes{operand=B}` / `accel.bytes{operand=C}` | simulated DRAM traffic per operand |
+//! | `pe.busy_cycles` | total busy cycles across processing elements |
+//!
+//! Gauges:
+//!
+//! | gauge | meaning |
+//! |-------|---------|
+//! | `lanczos.residual` | worst converged-pair residual of the last solve |
+//! | `kmeans.inertia` | best inertia of the last k-means call |
+//! | `pe.utilization` | busy/critical-path ratio of the last simulation |
+//!
+//! Histograms (log2 buckets):
+//!
+//! | histogram | meaning |
+//! |-----------|---------|
+//! | `accel.pe_cycles` | per-PE cycle totals of the last simulation |
+//! | `spgemm.row_nnz` | output-row nonzero counts seen by sparse kernels |
+
+mod export;
+mod profile;
+mod registry;
+mod span;
+
+pub use export::{export_chrome_trace, export_json, fmt_ns, render_table};
+pub use profile::{
+    snapshot, BucketEntry, CounterEntry, GaugeEntry, HistogramEntry, Profile, ProfileMeta,
+    SpanNode, PROFILE_FORMAT_VERSION,
+};
+pub use registry::{counter_add, gauge_set, histogram_record, reset};
+pub use span::{SpanGuard, TimedScope};
+
+use std::sync::atomic::Ordering;
+
+/// Returns whether profiling is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    registry::ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns profiling on or off process-wide.
+pub fn set_enabled(on: bool) {
+    registry::ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enables profiling when `BOOTES_PROFILE` is set to `1` or `true`.
+/// Returns the resulting enabled state.
+pub fn init_from_env() -> bool {
+    if let Ok(v) = std::env::var("BOOTES_PROFILE") {
+        if v == "1" || v.eq_ignore_ascii_case("true") {
+            set_enabled(true);
+        }
+    }
+    enabled()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The registry is process-global, so tests that mutate it serialize
+    /// through this lock (and restore the disabled state on exit).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_profiling<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(true);
+        let out = f();
+        set_enabled(false);
+        out
+    }
+
+    fn find<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+        nodes.iter().find(|n| n.name == name)
+    }
+
+    #[test]
+    fn nested_scopes_build_a_span_tree() {
+        let profile = with_profiling(|| {
+            {
+                let _outer = span!("outer");
+                for _ in 0..3 {
+                    let _inner = span!("inner");
+                }
+            }
+            {
+                let _solo = span!("solo");
+            }
+            snapshot()
+        });
+        let outer = find(&profile.spans, "outer").expect("outer span recorded");
+        assert_eq!(outer.count, 1);
+        let inner = find(&outer.children, "inner").expect("inner nested under outer");
+        assert_eq!(inner.count, 3);
+        assert!(
+            inner.total_ns <= outer.total_ns,
+            "children fit inside parent"
+        );
+        let solo = find(&profile.spans, "solo").expect("solo is a root span");
+        assert!(solo.children.is_empty());
+        assert_eq!(profile.meta.span_events, 5);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(false);
+        {
+            let _g = span!("ghost");
+            counter_add("ghost.counter", 7);
+            gauge_set("ghost.gauge", 1.0);
+            histogram_record("ghost.hist", 3);
+        }
+        let profile = snapshot();
+        assert!(profile.spans.is_empty());
+        assert!(profile.counters.is_empty());
+        assert!(profile.gauges.is_empty());
+        assert!(profile.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_aggregate_across_threads() {
+        let profile = with_profiling(|| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    std::thread::spawn(move || {
+                        for _ in 0..100 {
+                            counter_add("threads.work", 1);
+                        }
+                        counter_add(&format!("threads.t{i}"), i + 1)
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            snapshot()
+        });
+        let work = profile
+            .counters
+            .iter()
+            .find(|c| c.name == "threads.work")
+            .expect("shared counter present");
+        assert_eq!(work.value, 400);
+        for i in 0..4u64 {
+            let c = profile
+                .counters
+                .iter()
+                .find(|c| c.name == format!("threads.t{i}"))
+                .expect("per-thread counter present");
+            assert_eq!(c.value, i + 1);
+        }
+    }
+
+    #[test]
+    fn spans_on_other_threads_keep_their_own_stack() {
+        let profile = with_profiling(|| {
+            {
+                let _outer = span!("main_thread");
+                std::thread::spawn(|| {
+                    let _w = span!("worker");
+                })
+                .join()
+                .unwrap();
+            }
+            snapshot()
+        });
+        // The worker span must be a root, not a child of main_thread.
+        assert!(find(&profile.spans, "worker").is_some());
+        let main = find(&profile.spans, "main_thread").unwrap();
+        assert!(find(&main.children, "worker").is_none());
+    }
+
+    #[test]
+    fn profile_round_trips_through_json() {
+        let profile = with_profiling(|| {
+            {
+                let _a = span!("stage.a");
+                let _b = span!("stage.b");
+            }
+            counter_add("c.events", 42);
+            gauge_set("g.ratio", 0.25);
+            histogram_record("h.sizes", 0);
+            histogram_record("h.sizes", 9);
+            histogram_record("h.sizes", 1024);
+            snapshot()
+        });
+        let json = export_json(&profile);
+        let back: Profile = serde_json::from_str(&json).expect("profile parses");
+        assert_eq!(back, profile);
+        assert_eq!(back.meta.format_version, PROFILE_FORMAT_VERSION);
+        let hist = &back.histograms[0];
+        assert_eq!(hist.count, 3);
+        assert_eq!(hist.min, 0);
+        assert_eq!(hist.max, 1024);
+        assert_eq!(hist.buckets.iter().map(|b| b.count).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_complete() {
+        let trace = with_profiling(|| {
+            {
+                let _a = span!("trace.outer");
+                let _b = span!("trace.inner");
+            }
+            export_chrome_trace()
+        });
+        let v: serde::Value = serde_json::from_str(&trace).expect("trace parses");
+        let events = v
+            .get("traceEvents")
+            .and_then(serde::Value::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(serde::Value::as_str), Some("X"));
+            assert!(e.get("ts").and_then(serde::Value::as_f64).is_some());
+            assert!(e.get("dur").and_then(serde::Value::as_f64).is_some());
+            assert!(e.get("name").and_then(serde::Value::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn timed_scope_measures_even_when_disabled() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(false);
+        let scope = TimedScope::start("always.timed");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(scope.elapsed() >= std::time::Duration::from_millis(1));
+        drop(scope);
+        assert!(snapshot().spans.is_empty(), "no span while disabled");
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(812), "812ns");
+        assert!(fmt_ns(4_310).contains("µs"));
+        assert!(fmt_ns(12_500_000).contains("ms"));
+        assert!(fmt_ns(3_000_000_000).ends_with('s'));
+    }
+}

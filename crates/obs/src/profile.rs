@@ -1,0 +1,222 @@
+//! Serializable profile snapshot: aggregated span tree plus metric tables.
+//!
+//! [`snapshot`] folds the raw span records into a hierarchical tree (one
+//! node per distinct span path, accumulating count/total/min/max) and copies
+//! the metric maps into sorted, serde-friendly vectors.
+
+use crate::registry::{registry, Histogram};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::Ordering;
+
+/// Version stamp for the profile JSON layout.
+pub const PROFILE_FORMAT_VERSION: u32 = 1;
+
+/// A complete profile snapshot. Top-level JSON keys: `meta`, `spans`,
+/// `counters`, `gauges`, `histograms`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    pub meta: ProfileMeta,
+    /// Root spans of the hierarchical timer tree, heaviest first.
+    pub spans: Vec<SpanNode>,
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<CounterEntry>,
+    /// Last-write-wins gauges, sorted by name.
+    pub gauges: Vec<GaugeEntry>,
+    /// Log2-bucket histograms, sorted by name.
+    pub histograms: Vec<HistogramEntry>,
+}
+
+/// Bookkeeping about the capture itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileMeta {
+    pub format_version: u32,
+    /// Number of span events aggregated into the tree.
+    pub span_events: u64,
+    /// Span events discarded after the in-memory record cap was reached.
+    pub dropped_span_events: u64,
+}
+
+/// Aggregated timings for one span path in the tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Span name (the last path segment).
+    pub name: String,
+    /// Number of times this exact path was recorded.
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    /// Spans that were opened while this one was on the stack.
+    pub children: Vec<SpanNode>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    pub name: String,
+    pub value: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    pub name: String,
+    pub value: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Occupied `[lo, hi)` power-of-two buckets only.
+    pub buckets: Vec<BucketEntry>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketEntry {
+    pub lo: u64,
+    pub hi: u64,
+    pub count: u64,
+}
+
+impl SpanNode {
+    fn empty(name: &str) -> SpanNode {
+        SpanNode {
+            name: name.to_string(),
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// Mean duration in nanoseconds (0 for a never-recorded interior node).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+fn sort_tree(nodes: &mut Vec<SpanNode>) {
+    nodes.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    for node in nodes {
+        sort_tree(&mut node.children);
+    }
+}
+
+fn histogram_entry(name: &str, h: &Histogram) -> HistogramEntry {
+    let buckets = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| BucketEntry {
+            lo: if i == 0 { 0 } else { 1u64 << i },
+            hi: if i >= 63 { u64::MAX } else { 1u64 << (i + 1) },
+            count: c,
+        })
+        .collect();
+    HistogramEntry {
+        name: name.to_string(),
+        count: h.count,
+        sum: h.sum,
+        min: if h.count == 0 { 0 } else { h.min },
+        max: h.max,
+        buckets,
+    }
+}
+
+/// Captures the current registry contents as a [`Profile`].
+pub fn snapshot() -> Profile {
+    let reg = registry();
+
+    fn insert(level: &mut Vec<SpanNode>, path: &str, dur_ns: u64) {
+        let (segment, rest) = match path.split_once('/') {
+            Some((head, tail)) => (head, Some(tail)),
+            None => (path, None),
+        };
+        let idx = match level.iter().position(|n| n.name == segment) {
+            Some(i) => i,
+            None => {
+                level.push(SpanNode::empty(segment));
+                level.len() - 1
+            }
+        };
+        let node = &mut level[idx];
+        match rest {
+            Some(tail) => insert(&mut node.children, tail, dur_ns),
+            None => {
+                node.count += 1;
+                node.total_ns += dur_ns;
+                node.min_ns = node.min_ns.min(dur_ns);
+                node.max_ns = node.max_ns.max(dur_ns);
+            }
+        }
+    }
+
+    let mut roots: Vec<SpanNode> = Vec::new();
+    let records = reg.spans.lock().unwrap();
+    for record in records.iter() {
+        insert(&mut roots, &record.path, record.dur_ns);
+    }
+    let span_events = records.len() as u64;
+    drop(records);
+    sort_tree(&mut roots);
+    // Interior nodes that were never themselves recorded keep min_ns: MAX;
+    // normalize so the JSON is sane.
+    fn normalize(nodes: &mut [SpanNode]) {
+        for n in nodes {
+            if n.count == 0 {
+                n.min_ns = 0;
+            }
+            normalize(&mut n.children);
+        }
+    }
+    normalize(&mut roots);
+
+    let mut counters: Vec<CounterEntry> = reg
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, &value)| CounterEntry {
+            name: name.clone(),
+            value,
+        })
+        .collect();
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut gauges: Vec<GaugeEntry> = reg
+        .gauges
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, &value)| GaugeEntry {
+            name: name.clone(),
+            value,
+        })
+        .collect();
+    gauges.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut histograms: Vec<HistogramEntry> = reg
+        .histograms
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, h)| histogram_entry(name, h))
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+
+    Profile {
+        meta: ProfileMeta {
+            format_version: PROFILE_FORMAT_VERSION,
+            span_events,
+            dropped_span_events: reg.dropped_spans.load(Ordering::Relaxed),
+        },
+        spans: roots,
+        counters,
+        gauges,
+        histograms,
+    }
+}

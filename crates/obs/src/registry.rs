@@ -1,0 +1,157 @@
+//! Global metric and span storage behind the enabled gate.
+//!
+//! All state lives in one process-wide [`Registry`] guarded by coarse
+//! mutexes. Hot paths (counter bumps, span entry) check the
+//! [`ENABLED`](crate::enabled) flag with a relaxed atomic load before
+//! touching any lock, so a disabled build pays one branch per call site.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// Process-wide profiling switch. Relaxed ordering is sufficient: the flag
+/// only gates whether events are recorded, never synchronizes data.
+pub(crate) static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Spans recorded beyond this cap are counted but not stored, bounding
+/// memory on pathological workloads (e.g. per-row spans on huge matrices).
+pub(crate) const MAX_SPAN_RECORDS: usize = 1 << 18;
+
+/// One completed span occurrence (the raw event, pre-aggregation).
+#[derive(Debug, Clone)]
+pub(crate) struct SpanRecord {
+    /// Full slash-joined path from the thread's span-stack root,
+    /// e.g. `"pipeline.preprocess/spectral.lanczos/lanczos.restart"`.
+    pub path: String,
+    /// Offset of the span start from the profile epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, in nanoseconds.
+    pub dur_ns: u64,
+    /// Small dense id of the recording thread (for trace export).
+    pub tid: u64,
+}
+
+/// Power-of-two-bucket histogram: bucket `i` counts values `v` with
+/// `floor(log2(v)) == i` (value 0 goes to bucket 0).
+#[derive(Debug, Clone)]
+pub(crate) struct Histogram {
+    pub buckets: [u64; 64],
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        let bucket = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Registry {
+    pub spans: Mutex<Vec<SpanRecord>>,
+    pub dropped_spans: AtomicU64,
+    pub counters: Mutex<HashMap<String, u64>>,
+    pub gauges: Mutex<HashMap<String, f64>>,
+    pub histograms: Mutex<HashMap<String, Histogram>>,
+    pub thread_ids: Mutex<HashMap<ThreadId, u64>>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+pub(crate) fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Instant all span offsets are measured from. First use pins it.
+pub(crate) fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Dense per-thread id used as `tid` in trace export.
+pub(crate) fn thread_tid() -> u64 {
+    let reg = registry();
+    let mut map = reg.thread_ids.lock().unwrap();
+    let next = map.len() as u64;
+    *map.entry(std::thread::current().id()).or_insert(next)
+}
+
+pub(crate) fn record_span(record: SpanRecord) {
+    let reg = registry();
+    let mut spans = reg.spans.lock().unwrap();
+    if spans.len() >= MAX_SPAN_RECORDS {
+        reg.dropped_spans.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    spans.push(record);
+}
+
+/// Adds `delta` to the named monotonic counter. No-op while disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut counters = registry().counters.lock().unwrap();
+    match counters.get_mut(name) {
+        Some(c) => *c += delta,
+        None => {
+            counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Sets the named gauge to `value` (last write wins). No-op while disabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut gauges = registry().gauges.lock().unwrap();
+    gauges.insert(name.to_string(), value);
+}
+
+/// Records one observation into the named log2-bucket histogram.
+/// No-op while disabled.
+pub fn histogram_record(name: &str, value: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut hists = registry().histograms.lock().unwrap();
+    hists
+        .entry(name.to_string())
+        .or_insert_with(Histogram::new)
+        .record(value);
+}
+
+/// Clears all recorded spans and metrics (the enabled flag is untouched).
+/// Intended for tests and for the CLI before starting a profiled run.
+pub fn reset() {
+    let reg = registry();
+    reg.spans.lock().unwrap().clear();
+    reg.dropped_spans.store(0, Ordering::Relaxed);
+    reg.counters.lock().unwrap().clear();
+    reg.gauges.lock().unwrap().clear();
+    reg.histograms.lock().unwrap().clear();
+}

@@ -1,0 +1,116 @@
+//! Scoped spans: RAII guards that record wall-time into the registry and a
+//! thread-local stack that gives each record its hierarchical path.
+
+use crate::registry::{epoch, record_span, thread_tid, SpanRecord};
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Names of the spans currently open on this thread, root first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+}
+
+/// RAII guard created by [`crate::span!`]. Dropping it closes the span and
+/// records one timing event; when profiling is disabled the guard is inert
+/// and construction did not even read the clock.
+pub struct SpanGuard {
+    inner: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name`. Prefer the [`crate::span!`] macro.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { inner: None };
+        }
+        let start_ns = epoch().elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+        SpanGuard {
+            inner: Some(ActiveSpan {
+                name,
+                start: Instant::now(),
+                start_ns,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.inner.take() else {
+            return;
+        };
+        let dur_ns = active.start.elapsed().as_nanos() as u64;
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Unwind to this span's frame even if an inner guard leaked
+            // (e.g. was dropped out of order across an early return).
+            while let Some(top) = stack.pop() {
+                if std::ptr::eq(top, active.name) || top == active.name {
+                    break;
+                }
+            }
+            let mut path = stack.join("/");
+            if !path.is_empty() {
+                path.push('/');
+            }
+            path.push_str(active.name);
+            path
+        });
+        record_span(SpanRecord {
+            path,
+            start_ns: active.start_ns,
+            dur_ns,
+            tid: thread_tid(),
+        });
+    }
+}
+
+/// Opens a scoped span; the returned guard records the elapsed wall-time
+/// into the hierarchical span tree when dropped.
+///
+/// ```
+/// let _g = bootes_obs::span!("lanczos.restart");
+/// // ... work ...
+/// // guard drop records the span (no-op unless profiling is enabled)
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+/// A scope that is **always** timed, independent of the profiling flag, and
+/// additionally recorded as a span when profiling is enabled.
+///
+/// Components whose public results embed an elapsed time (e.g.
+/// `ReorderStats::elapsed`) use this so the reported duration and the
+/// profile span come from the same measurement.
+pub struct TimedScope {
+    start: Instant,
+    _guard: SpanGuard,
+}
+
+impl TimedScope {
+    /// Starts timing a scope named `name`.
+    pub fn start(name: &'static str) -> TimedScope {
+        TimedScope {
+            // Read the clock after the guard is set up so the always-on
+            // elapsed figure excludes profiling bookkeeping.
+            _guard: SpanGuard::enter(name),
+            start: Instant::now(),
+        }
+    }
+
+    /// Wall-time since the scope started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}

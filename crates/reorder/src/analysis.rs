@@ -148,7 +148,7 @@ pub fn reuse_profile_of_stream<I: IntoIterator<Item = usize>>(
 /// stream generated by iterating `A`'s rows *sequentially* in order — the
 /// paper's conceptual single-PE picture.
 pub fn b_reuse_profile(a: &CsrMatrix) -> ReuseProfile {
-    let stream = (0..a.nrows()).flat_map(|r| a.row(r).0.iter().copied().collect::<Vec<_>>());
+    let stream = (0..a.nrows()).flat_map(|r| a.row(r).0.to_vec());
     reuse_profile_of_stream(stream, a.ncols())
 }
 
@@ -310,9 +310,7 @@ mod tests {
 
     #[test]
     fn scheduled_with_one_pe_equals_sequential() {
-        let rows: Vec<Vec<usize>> = (0..12)
-            .map(|i| vec![(i * 3) % 7, (i + 2) % 7])
-            .collect();
+        let rows: Vec<Vec<usize>> = (0..12).map(|i| vec![(i * 3) % 7, (i + 2) % 7]).collect();
         let slices: Vec<&[usize]> = rows.iter().map(|r| &r[..]).collect();
         let a = from_rows(7, &slices);
         assert_eq!(b_reuse_profile(&a), b_reuse_profile_scheduled(&a, 1));

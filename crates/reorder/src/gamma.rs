@@ -10,14 +10,12 @@
 //! `Q` columns, each column up to `Q` rows, and every priority update costs a
 //! heap sift.
 
-use std::time::Instant;
-
 use bootes_sparse::{CsrMatrix, Permutation};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::error::ReorderError;
-use crate::metrics::{MemTracker, ReorderStats};
+use crate::metrics::{MemTracker, StatsScope};
 use crate::pq::IndexedPriorityQueue;
 use crate::{ReorderOutcome, Reorderer};
 
@@ -63,13 +61,13 @@ impl Reorderer for GammaReorderer {
     }
 
     fn reorder(&self, a: &CsrMatrix) -> Result<ReorderOutcome, ReorderError> {
-        let start = Instant::now();
+        let scope = StatsScope::start(self.name(), "reorder.gamma");
         let n = a.nrows();
         let mut mem = MemTracker::new();
         if n == 0 {
             return Ok(ReorderOutcome {
                 permutation: Permutation::identity(0),
-                stats: ReorderStats::new(self.name(), start.elapsed(), 0),
+                stats: scope.stats(&mem),
             });
         }
         let w = self.config.window.max(1);
@@ -120,7 +118,7 @@ impl Reorderer for GammaReorderer {
         let permutation = Permutation::try_new(p)?;
         Ok(ReorderOutcome {
             permutation,
-            stats: ReorderStats::new(self.name(), start.elapsed(), mem.peak_bytes()),
+            stats: scope.stats(&mem),
         })
     }
 }
@@ -157,10 +155,7 @@ mod tests {
         // After reordering, adjacent rows should mostly share a group:
         // count adjacent pairs with equal parity of the original index.
         let p = out.permutation.as_slice();
-        let same_group = p
-            .windows(2)
-            .filter(|w| (w[0] % 2) == (w[1] % 2))
-            .count();
+        let same_group = p.windows(2).filter(|w| (w[0] % 2) == (w[1] % 2)).count();
         // With 40 rows in 2 groups an optimal ordering has 38 same-group
         // adjacencies; random would give ~19.5. Gamma must land near optimal.
         assert!(same_group >= 34, "only {same_group} same-group adjacencies");
@@ -198,6 +193,18 @@ mod tests {
             .reorder(&CsrMatrix::identity(1))
             .unwrap();
         assert_eq!(out.permutation.len(), 1);
+    }
+
+    #[test]
+    fn nonempty_matrices_report_nonzero_footprint() {
+        // Regression: tiny inputs must still report the tracker's actual
+        // high-water mark, not a hardcoded zero.
+        for n in [1usize, 2, 3] {
+            let out = GammaReorderer::default()
+                .reorder(&CsrMatrix::identity(n))
+                .unwrap();
+            assert!(out.stats.peak_bytes > 0, "n={n} reported peak_bytes == 0");
+        }
     }
 
     #[test]

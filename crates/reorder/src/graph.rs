@@ -10,15 +10,13 @@
 //!
 //! Complexity is `O(r · q²)` dominated by graph construction (Table 2).
 
-use std::collections::HashMap;
-use std::time::Instant;
-
 use bootes_sparse::{CsrMatrix, Permutation};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
 
 use crate::error::ReorderError;
-use crate::metrics::{MemTracker, ReorderStats};
+use crate::metrics::{MemTracker, StatsScope};
 use crate::{ReorderOutcome, Reorderer};
 
 /// Configuration for [`GraphReorderer`].
@@ -53,13 +51,13 @@ impl Reorderer for GraphReorderer {
     }
 
     fn reorder(&self, a: &CsrMatrix) -> Result<ReorderOutcome, ReorderError> {
-        let start = Instant::now();
+        let scope = StatsScope::start(self.name(), "reorder.graph");
         let n = a.nrows();
         let mut mem = MemTracker::new();
         if n == 0 {
             return Ok(ReorderOutcome {
                 permutation: Permutation::identity(0),
-                stats: ReorderStats::new(self.name(), start.elapsed(), 0),
+                stats: scope.stats(&mem),
             });
         }
 
@@ -81,7 +79,9 @@ impl Reorderer for GraphReorderer {
         // HashMap overhead approximated as key + value + one-word bucket cost.
         mem.alloc(
             edge_count
-                * (std::mem::size_of::<usize>() + std::mem::size_of::<u32>() + std::mem::size_of::<usize>()),
+                * (std::mem::size_of::<usize>()
+                    + std::mem::size_of::<u32>()
+                    + std::mem::size_of::<usize>()),
         );
 
         let mut visited = vec![false; n];
@@ -121,7 +121,7 @@ impl Reorderer for GraphReorderer {
         let permutation = Permutation::try_new(p)?;
         Ok(ReorderOutcome {
             permutation,
-            stats: ReorderStats::new(self.name(), start.elapsed(), mem.peak_bytes()),
+            stats: scope.stats(&mem),
         })
     }
 }
@@ -140,6 +140,18 @@ mod tests {
             }
         }
         coo.to_csr()
+    }
+
+    #[test]
+    fn nonempty_matrices_report_nonzero_footprint() {
+        // Regression: tiny inputs must still report the tracker's actual
+        // high-water mark, not a hardcoded zero.
+        for n in [1usize, 2, 3] {
+            let out = GraphReorderer::default()
+                .reorder(&CsrMatrix::identity(n))
+                .unwrap();
+            assert!(out.stats.peak_bytes > 0, "n={n} reported peak_bytes == 0");
+        }
     }
 
     #[test]
@@ -177,7 +189,9 @@ mod tests {
 
     #[test]
     fn empty_matrix() {
-        let out = GraphReorderer::default().reorder(&CsrMatrix::zeros(0, 5)).unwrap();
+        let out = GraphReorderer::default()
+            .reorder(&CsrMatrix::zeros(0, 5))
+            .unwrap();
         assert!(out.permutation.is_empty());
     }
 

@@ -8,16 +8,14 @@
 //! representatives and re-inserted — exactly the paper's lazy re-evaluation.
 //! The final permutation lists clusters in order of their smallest member.
 
+use bootes_sparse::{stats, CsrMatrix, Permutation};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
-use std::time::Instant;
-
-use bootes_sparse::{stats, CsrMatrix, Permutation};
 
 use crate::error::ReorderError;
 use crate::lsh::MinHashSignatures;
-use crate::metrics::{MemTracker, ReorderStats};
+use crate::metrics::{MemTracker, StatsScope};
 use crate::unionfind::UnionFind;
 use crate::{ReorderOutcome, Reorderer};
 
@@ -93,7 +91,7 @@ impl Reorderer for HierReorderer {
     }
 
     fn reorder(&self, a: &CsrMatrix) -> Result<ReorderOutcome, ReorderError> {
-        let start = Instant::now();
+        let scope = StatsScope::start(self.name(), "reorder.hier");
         let cfg = &self.config;
         if cfg.siglen == 0 || cfg.bsize == 0 {
             return Err(ReorderError::InvalidConfig(
@@ -110,7 +108,7 @@ impl Reorderer for HierReorderer {
         if n == 0 {
             return Ok(ReorderOutcome {
                 permutation: Permutation::identity(0),
-                stats: ReorderStats::new(self.name(), start.elapsed(), 0),
+                stats: scope.stats(&mem),
             });
         }
 
@@ -184,7 +182,7 @@ impl Reorderer for HierReorderer {
         let permutation = Permutation::try_new(p)?;
         Ok(ReorderOutcome {
             permutation,
-            stats: ReorderStats::new(self.name(), start.elapsed(), mem.peak_bytes()),
+            stats: scope.stats(&mem),
         })
     }
 }
@@ -203,6 +201,18 @@ mod tests {
             }
         }
         coo.to_csr()
+    }
+
+    #[test]
+    fn nonempty_matrices_report_nonzero_footprint() {
+        // Regression: tiny inputs must still report the tracker's actual
+        // high-water mark, not a hardcoded zero.
+        for n in [1usize, 2, 3] {
+            let out = HierReorderer::default()
+                .reorder(&CsrMatrix::identity(n))
+                .unwrap();
+            assert!(out.stats.peak_bytes > 0, "n={n} reported peak_bytes == 0");
+        }
     }
 
     #[test]
@@ -248,9 +258,13 @@ mod tests {
 
     #[test]
     fn empty_and_all_empty_rows() {
-        let out = HierReorderer::default().reorder(&CsrMatrix::zeros(0, 0)).unwrap();
+        let out = HierReorderer::default()
+            .reorder(&CsrMatrix::zeros(0, 0))
+            .unwrap();
         assert!(out.permutation.is_empty());
-        let out = HierReorderer::default().reorder(&CsrMatrix::zeros(5, 5)).unwrap();
+        let out = HierReorderer::default()
+            .reorder(&CsrMatrix::zeros(5, 5))
+            .unwrap();
         assert_eq!(out.permutation.len(), 5);
     }
 

@@ -42,12 +42,14 @@ pub mod original;
 pub mod pq;
 pub mod unionfind;
 
-pub use analysis::{b_reuse_profile, b_reuse_profile_scheduled, reuse_profile_of_stream, ReuseProfile};
+pub use analysis::{
+    b_reuse_profile, b_reuse_profile_scheduled, reuse_profile_of_stream, ReuseProfile,
+};
 pub use error::ReorderError;
 pub use gamma::GammaReorderer;
 pub use graph::GraphReorderer;
 pub use hier::HierReorderer;
-pub use metrics::{MemTracker, ReorderStats};
+pub use metrics::{MemTracker, ReorderStats, StatsScope};
 pub use original::OriginalOrder;
 
 use bootes_sparse::{CsrMatrix, Permutation};

@@ -107,7 +107,11 @@ impl MinHashSignatures {
     /// entirely `u64::MAX` (empty rows) are skipped.
     pub fn candidate_pairs(&self, bsize: usize) -> Vec<(usize, usize)> {
         let bsize = bsize.clamp(1, self.siglen.max(1));
-        let nbands = if self.siglen == 0 { 0 } else { self.siglen / bsize };
+        let nbands = if self.siglen == 0 {
+            0
+        } else {
+            self.siglen / bsize
+        };
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
         for band in 0..nbands {

@@ -92,6 +92,42 @@ pub fn vec_bytes<T>(v: &[T]) -> usize {
     std::mem::size_of_val(v)
 }
 
+/// Times one reorderer run through the observability layer.
+///
+/// Wraps [`bootes_obs::TimedScope`]: the elapsed time embedded in the
+/// resulting [`ReorderStats`] is the same measurement that appears as a span
+/// in the profile when profiling is enabled, so `--profile` output and
+/// `ReorderStats::elapsed` cannot disagree. Every exit path — including
+/// early exits for degenerate inputs — should produce its stats through
+/// [`StatsScope::stats`] so the reported footprint always reflects the
+/// tracker's actual high-water mark.
+pub struct StatsScope {
+    scope: bootes_obs::TimedScope,
+    algorithm: &'static str,
+}
+
+impl StatsScope {
+    /// Starts timing a run of `algorithm`, recorded under the span
+    /// `span_name` (e.g. `"reorder.gamma"`).
+    pub fn start(algorithm: &'static str, span_name: &'static str) -> Self {
+        StatsScope {
+            scope: bootes_obs::TimedScope::start(span_name),
+            algorithm,
+        }
+    }
+
+    /// Elapsed wall-time since the scope started.
+    pub fn elapsed(&self) -> Duration {
+        self.scope.elapsed()
+    }
+
+    /// Produces the [`ReorderStats`] for this run from the scope's clock and
+    /// the tracker's high-water mark.
+    pub fn stats(&self, mem: &MemTracker) -> ReorderStats {
+        ReorderStats::new(self.algorithm, self.scope.elapsed(), mem.peak_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

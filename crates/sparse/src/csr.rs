@@ -272,15 +272,25 @@ impl CsrMatrix {
 
     /// Converts to compressed sparse column format.
     pub fn to_csc(&self) -> CscMatrix {
-        let (indptr, indices, values) =
-            crate::ops::transpose::transpose_raw(self.nrows, self.ncols, &self.indptr, &self.indices, &self.values);
+        let (indptr, indices, values) = crate::ops::transpose::transpose_raw(
+            self.nrows,
+            self.ncols,
+            &self.indptr,
+            &self.indices,
+            &self.values,
+        );
         CscMatrix::from_parts_unchecked(self.nrows, self.ncols, indptr, indices, values)
     }
 
     /// Returns the transpose as a new CSR matrix.
     pub fn transpose(&self) -> CsrMatrix {
-        let (indptr, indices, values) =
-            crate::ops::transpose::transpose_raw(self.nrows, self.ncols, &self.indptr, &self.indices, &self.values);
+        let (indptr, indices, values) = crate::ops::transpose::transpose_raw(
+            self.nrows,
+            self.ncols,
+            &self.indptr,
+            &self.indices,
+            &self.values,
+        );
         CsrMatrix {
             nrows: self.ncols,
             ncols: self.nrows,

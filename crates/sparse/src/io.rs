@@ -154,14 +154,8 @@ mod tests {
 
     #[test]
     fn roundtrip_general() {
-        let a = CsrMatrix::try_new(
-            3,
-            2,
-            vec![0, 1, 1, 3],
-            vec![1, 0, 1],
-            vec![2.5, -1.0, 4.0],
-        )
-        .unwrap();
+        let a = CsrMatrix::try_new(3, 2, vec![0, 1, 1, 3], vec![1, 0, 1], vec![2.5, -1.0, 4.0])
+            .unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&mut buf, &a).unwrap();
         let b = read_matrix_market(buf.as_slice()).unwrap();
@@ -187,7 +181,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
-        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n\n2 2 1\n% another\n1 1 7\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n% comment\n\n2 2 1\n% another\n1 1 7\n";
         let m = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(m.get(0, 0), 7.0);
     }

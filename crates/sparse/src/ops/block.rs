@@ -128,8 +128,12 @@ impl BlockSparseMatrix {
             for t in self.bindptr[bi]..self.bindptr[bi + 1] {
                 let bj = self.bindices[t];
                 for &(r, c, v) in &self.tiles[t] {
-                    coo.push(bi * self.block + r as usize, bj * self.block + c as usize, v)
-                        .expect("in range by construction");
+                    coo.push(
+                        bi * self.block + r as usize,
+                        bj * self.block + c as usize,
+                        v,
+                    )
+                    .expect("in range by construction");
                 }
             }
         }
@@ -155,6 +159,7 @@ pub fn block_spgemm(
             right: (b.nrows, b.ncols),
         });
     }
+    let _span = bootes_obs::span!("spgemm.block");
     let block = a.block;
     let block_cols_b = b.ncols.div_ceil(block);
     let mut coo = crate::coo::CooMatrix::new(a.nrows, b.ncols);
@@ -163,9 +168,7 @@ pub fn block_spgemm(
     let mut dirty: Vec<bool> = vec![false; block_cols_b];
 
     for bi in 0..a.bindptr.len() - 1 {
-        for d in &mut dirty {
-            *d = false;
-        }
+        dirty.fill(false);
         for t in a.bindptr[bi]..a.bindptr[bi + 1] {
             let bk = a.bindices[t];
             // Find B's block row bk.

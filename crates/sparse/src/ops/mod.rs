@@ -9,4 +9,4 @@ pub mod transpose;
 pub use block::{block_spgemm, BlockSparseMatrix};
 pub use elementwise::{add_scaled, frobenius_norm, scale, spmm};
 pub use similarity::{similarity_matrix, similarity_matrix_csc};
-pub use spgemm::{spgemm, spgemm_hash, spgemm_flops, DataflowCost, dataflow_costs};
+pub use spgemm::{dataflow_costs, spgemm, spgemm_flops, spgemm_hash, DataflowCost};

@@ -47,6 +47,7 @@ fn check_dims(a: &CsrMatrix, b: &CsrMatrix) -> Result<(), SparseError> {
 /// ```
 pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
     check_dims(a, b)?;
+    let _span = bootes_obs::span!("spgemm.dense_acc");
     let n = b.ncols();
     let mut acc = vec![0.0f64; n];
     let mut touched: Vec<usize> = Vec::new();
@@ -55,11 +56,14 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
     let mut indices: Vec<usize> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
     indptr.push(0);
+    let mut flops = 0u64;
 
     for i in 0..a.nrows() {
+        let row_start = indices.len();
         let (acols, avals) = a.row(i);
         for (&k, &aik) in acols.iter().zip(avals) {
             let (bcols, bvals) = b.row(k);
+            flops += bcols.len() as u64;
             for (&j, &bkj) in bcols.iter().zip(bvals) {
                 // A zero accumulator marks "untouched"; a partial sum that
                 // cancels back to 0.0 re-pushes j, deduplicated below.
@@ -83,7 +87,9 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
         }
         touched.clear();
         indptr.push(indices.len());
+        bootes_obs::histogram_record("spgemm.row_nnz", (indices.len() - row_start) as u64);
     }
+    bootes_obs::counter_add("spgemm.flops", flops);
     Ok(CsrMatrix::from_parts_unchecked(
         a.nrows(),
         b.ncols(),
@@ -104,31 +110,40 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
 /// Returns [`SparseError::DimensionMismatch`] if `a.ncols() != b.nrows()`.
 pub fn spgemm_hash(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
     check_dims(a, b)?;
+    let _span = bootes_obs::span!("spgemm.hash_acc");
     let mut indptr = Vec::with_capacity(a.nrows() + 1);
     let mut indices: Vec<usize> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
     indptr.push(0);
     let mut acc: HashMap<usize, f64> = HashMap::new();
     let mut rowbuf: Vec<(usize, f64)> = Vec::new();
+    let mut flops = 0u64;
 
     for i in 0..a.nrows() {
         acc.clear();
         let (acols, avals) = a.row(i);
         for (&k, &aik) in acols.iter().zip(avals) {
             let (bcols, bvals) = b.row(k);
+            flops += bcols.len() as u64;
             for (&j, &bkj) in bcols.iter().zip(bvals) {
                 *acc.entry(j).or_insert(0.0) += aik * bkj;
             }
         }
         rowbuf.clear();
-        rowbuf.extend(acc.iter().filter(|(_, v)| **v != 0.0).map(|(&j, &v)| (j, v)));
+        rowbuf.extend(
+            acc.iter()
+                .filter(|(_, v)| **v != 0.0)
+                .map(|(&j, &v)| (j, v)),
+        );
         rowbuf.sort_unstable_by_key(|&(j, _)| j);
         for &(j, v) in &rowbuf {
             indices.push(j);
             values.push(v);
         }
         indptr.push(indices.len());
+        bootes_obs::histogram_record("spgemm.row_nnz", rowbuf.len() as u64);
     }
+    bootes_obs::counter_add("spgemm.flops", flops);
     Ok(CsrMatrix::from_parts_unchecked(
         a.nrows(),
         b.ncols(),
@@ -179,10 +194,7 @@ pub struct DataflowCost {
 /// # Errors
 ///
 /// Returns [`SparseError::DimensionMismatch`] if `a.ncols() != b.nrows()`.
-pub fn dataflow_costs(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
-) -> Result<[DataflowCost; 3], SparseError> {
+pub fn dataflow_costs(a: &CsrMatrix, b: &CsrMatrix) -> Result<[DataflowCost; 3], SparseError> {
     check_dims(a, b)?;
     let a_csc = a.to_csc();
     let b_csc = b.to_csc();

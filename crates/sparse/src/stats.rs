@@ -122,14 +122,7 @@ mod tests {
         // [1 1 0 0]
         // [0 1 1 0]
         // [0 0 0 1]
-        CsrMatrix::try_new(
-            3,
-            4,
-            vec![0, 2, 4, 5],
-            vec![0, 1, 1, 2, 3],
-            vec![1.0; 5],
-        )
-        .unwrap()
+        CsrMatrix::try_new(3, 4, vec![0, 2, 4, 5], vec![0, 1, 1, 2, 3], vec![1.0; 5]).unwrap()
     }
 
     #[test]
@@ -180,7 +173,10 @@ mod tests {
         // intersections: (0,1)=1, (1,2)=0 -> mean 0.5, var 0.25
         assert!((avg - 0.5).abs() < 1e-15);
         assert!((var - 0.25).abs() < 1e-15);
-        assert_eq!(adjacent_intersection_stats(&CsrMatrix::zeros(1, 1)), (0.0, 0.0));
+        assert_eq!(
+            adjacent_intersection_stats(&CsrMatrix::zeros(1, 1)),
+            (0.0, 0.0)
+        );
     }
 
     #[test]
@@ -188,8 +184,7 @@ mod tests {
         let a = sample();
         assert_eq!(bandwidth(&a), 1);
         assert_eq!(bandwidth(&CsrMatrix::zeros(5, 5)), 0);
-        let wide =
-            CsrMatrix::try_new(2, 10, vec![0, 1, 1], vec![9], vec![1.0]).unwrap();
+        let wide = CsrMatrix::try_new(2, 10, vec![0, 1, 1], vec![9], vec![1.0]).unwrap();
         assert_eq!(bandwidth(&wide), 9);
     }
 }

@@ -188,8 +188,7 @@ pub fn clustered_with_density(
     // Prototype supports: each cluster owns a couple of representative
     // column sets; rows are noisy copies of one prototype.
     let protos_per_cluster = 2usize;
-    let proto_size = ((per_row / coherence.max(0.05)).round() as usize)
-        .clamp(1, block.max(1));
+    let proto_size = ((per_row / coherence.max(0.05)).round() as usize).clamp(1, block.max(1));
     let mut prototypes: Vec<Vec<usize>> = Vec::with_capacity(clusters * protos_per_cluster);
     let mut scratch = Vec::new();
     for g in 0..clusters {
@@ -263,7 +262,9 @@ pub fn power_law(cfg: &GenConfig, avg_nnz: f64, alpha: f64) -> Result<CsrMatrix,
         cols.clear();
         for _ in 0..n {
             let t = rng.random::<f64>() * total;
-            let c = cum.partition_point(|&w| w < t).min(cfg.ncols.saturating_sub(1));
+            let c = cum
+                .partition_point(|&w| w < t)
+                .min(cfg.ncols.saturating_sub(1));
             cols.push(c);
         }
         cols.sort_unstable();
@@ -281,7 +282,11 @@ pub fn power_law(cfg: &GenConfig, avg_nnz: f64, alpha: f64) -> Result<CsrMatrix,
 /// # Errors
 ///
 /// Returns [`GenError::InvalidParameter`] if `fanout == 0`.
-pub fn circuit_like(cfg: &GenConfig, fanout: usize, bus_cols: usize) -> Result<CsrMatrix, GenError> {
+pub fn circuit_like(
+    cfg: &GenConfig,
+    fanout: usize,
+    bus_cols: usize,
+) -> Result<CsrMatrix, GenError> {
     if fanout == 0 {
         return Err(GenError::InvalidParameter("fanout must be > 0".into()));
     }
@@ -388,7 +393,9 @@ pub fn rmat(
     }
     let deg_valid = avg_deg > 0.0;
     if !deg_valid {
-        return Err(GenError::InvalidParameter("avg_deg must be positive".into()));
+        return Err(GenError::InvalidParameter(
+            "avg_deg must be positive".into(),
+        ));
     }
     let n = cfg.nrows.min(cfg.ncols);
     if n == 0 {
@@ -557,14 +564,23 @@ mod tests {
 
     #[test]
     fn rmat_skews_degrees() {
-        let a = rmat(&GenConfig::new(512, 512).seed(9), 8.0, (0.57, 0.19, 0.19, 0.05)).unwrap();
+        let a = rmat(
+            &GenConfig::new(512, 512).seed(9),
+            8.0,
+            (0.57, 0.19, 0.19, 0.05),
+        )
+        .unwrap();
         assert!(a.nnz() > 1000);
         let counts = stats::col_nnz_counts(&a);
         let mut sorted = counts.clone();
         sorted.sort_unstable_by(|x, y| y.cmp(x));
         // Top 5% of columns hold far more than 5% of the edges.
         let top: usize = sorted[..26].iter().sum();
-        assert!(top as f64 > 0.2 * a.nnz() as f64, "top share {top}/{}", a.nnz());
+        assert!(
+            top as f64 > 0.2 * a.nnz() as f64,
+            "top share {top}/{}",
+            a.nnz()
+        );
     }
 
     #[test]
@@ -577,7 +593,12 @@ mod tests {
 
     #[test]
     fn rmat_uniform_probs_spread_edges() {
-        let a = rmat(&GenConfig::new(256, 256).seed(10), 6.0, (0.25, 0.25, 0.25, 0.25)).unwrap();
+        let a = rmat(
+            &GenConfig::new(256, 256).seed(10),
+            6.0,
+            (0.25, 0.25, 0.25, 0.25),
+        )
+        .unwrap();
         let counts = stats::col_nnz_counts(&a);
         let max = *counts.iter().max().unwrap();
         assert!(max < 40, "uniform rmat too skewed: max col degree {max}");
@@ -585,7 +606,13 @@ mod tests {
 
     #[test]
     fn zero_sized_matrices() {
-        assert_eq!(uniform_random(&GenConfig::new(0, 10), 0.1).unwrap().nrows(), 0);
-        assert_eq!(uniform_random(&GenConfig::new(10, 0), 0.1).unwrap().nnz(), 0);
+        assert_eq!(
+            uniform_random(&GenConfig::new(0, 10), 0.1).unwrap().nrows(),
+            0
+        );
+        assert_eq!(
+            uniform_random(&GenConfig::new(10, 0), 0.1).unwrap().nnz(),
+            0
+        );
     }
 }

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
     let ds = Dataset::new(x, y, names, Label::N_CLASSES)?;
-    println!("class counts (NoReorder, k=2, 4, 8, 16, 32): {:?}", ds.class_counts());
+    println!(
+        "class counts (NoReorder, k=2, 4, 8, 16, 32): {:?}",
+        ds.class_counts()
+    );
 
     // 2. 70/30 split, balanced class weights (paper §5.1), train, prune.
     let (train, test) = ds.split(0.7, 3)?;

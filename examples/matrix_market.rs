@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let path = std::env::temp_dir().join("bootes_example.mtx");
             let mut file = std::fs::File::create(&path)?;
             write_matrix_market(&mut file, &a)?;
-            println!("(no input file given; wrote a demo matrix to {})", path.display());
+            println!(
+                "(no input file given; wrote a demo matrix to {})",
+                path.display()
+            );
             path
         }
     };

@@ -74,30 +74,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rows: Vec<(&str, f64, usize)> = vec![
         (
             "decision tree",
-            eval((0..test.len())
-                .map(|i| tree.predict(test.features(i)))
-                .collect::<Result<_, _>>()?),
+            eval(
+                (0..test.len())
+                    .map(|i| tree.predict(test.features(i)))
+                    .collect::<Result<_, _>>()?,
+            ),
             tree.serialized_size(),
         ),
         (
             "random forest",
-            eval((0..test.len())
-                .map(|i| forest.predict(test.features(i)))
-                .collect::<Result<_, _>>()?),
+            eval(
+                (0..test.len())
+                    .map(|i| forest.predict(test.features(i)))
+                    .collect::<Result<_, _>>()?,
+            ),
             forest.serialized_size(),
         ),
         (
             "gradient boosting",
-            eval((0..test.len())
-                .map(|i| gbt.predict(test.features(i)))
-                .collect::<Result<_, _>>()?),
+            eval(
+                (0..test.len())
+                    .map(|i| gbt.predict(test.features(i)))
+                    .collect::<Result<_, _>>()?,
+            ),
             gbt.serialized_size(),
         ),
         (
             "linear svm",
-            eval((0..test.len())
-                .map(|i| svm.predict(test.features(i)))
-                .collect::<Result<_, _>>()?),
+            eval(
+                (0..test.len())
+                    .map(|i| svm.predict(test.features(i)))
+                    .collect::<Result<_, _>>()?,
+            ),
             svm.serialized_size(),
         ),
     ];

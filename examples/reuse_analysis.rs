@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let out = algo.reorder(&a)?;
         let m = out.permutation.apply_rows(&a)?;
         let profile = b_reuse_profile_scheduled(&m, 64);
-        print!("{:<10} {:>14.1}", algo.name(), profile.mean_reuse_distance());
+        print!(
+            "{:<10} {:>14.1}",
+            algo.name(),
+            profile.mean_reuse_distance()
+        );
         for (_, rows) in &caches {
             print!("{:>16.2}", profile.hit_rate_at((*rows).max(1)));
         }

@@ -5,19 +5,29 @@
 //! - `reorder <in.mtx> [-o out.mtx] [--algo A] [--k K]` — reorder a Matrix
 //!   Market file (`bootes`, `gamma`, `graph`, `hier`, `recursive`),
 //! - `features <in.mtx>` — print the §3.2 structural feature vector,
-//! - `simulate <in.mtx> [--accel NAME] [--cache BYTES]` — simulate the
-//!   row-wise SpGEMM `A·A` (or `A·Aᵀ`) and print the traffic report,
+//! - `simulate <in.mtx> [--accel NAME] [--cache BYTES] [--reorder ALGO]` —
+//!   simulate the row-wise SpGEMM `A·A` (or `A·Aᵀ`), reorder the rows
+//!   (spectral clustering by default; `--reorder none` skips), re-simulate,
+//!   and print both traffic reports,
 //! - `train [--corpus N] [--accel NAME] [--cache BYTES] -o model.json` —
 //!   train the decision tree on a measured synthetic corpus,
 //! - `decide <in.mtx> --model model.json` — run the cost model on a matrix,
 //! - `analyze <in.mtx> [--pes N]` — stack-distance reuse analysis of the
 //!   B-row access stream with predicted hit rates per cache size.
 //!
+//! Every subcommand also accepts the global profiling flags:
+//!
+//! - `--profile` — enable span/metric collection and print a profile table to
+//!   stderr on exit (equivalently, set `BOOTES_PROFILE=1`),
+//! - `--profile-out FILE.json` — also write the profile as JSON,
+//! - `--trace-out FILE.json` — also write a Chrome trace-event file, viewable
+//!   in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
 //! Examples:
 //!
 //! ```sh
 //! bootes reorder matrix.mtx -o reordered.mtx --algo bootes --k 8
-//! bootes simulate matrix.mtx --accel flexagon
+//! bootes simulate matrix.mtx --accel flexagon --profile --trace-out trace.json
 //! bootes train --corpus 60 -o model.json && bootes decide matrix.mtx --model model.json
 //! ```
 
@@ -37,7 +47,20 @@ use bootes::workloads::suite::training_corpus;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let (args, prof) = match ProfileOpts::extract(args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = run(&args);
+    if let Err(msg) = prof.finish() {
+        eprintln!("error: {msg}");
+        return ExitCode::FAILURE;
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -52,9 +75,85 @@ usage:
   bootes reorder  <in.mtx> [-o out.mtx] [--algo bootes|gamma|graph|hier|recursive] [--k K]
   bootes features <in.mtx>
   bootes simulate <in.mtx> [--accel flexagon|gamma|trapezoid] [--cache BYTES]
+                  [--reorder bootes|gamma|graph|hier|recursive|none] [--k K]
   bootes train    [--corpus N] [--accel NAME] [--cache BYTES] [--seed S] -o model.json
   bootes decide   <in.mtx> --model model.json
-  bootes analyze  <in.mtx> [--pes N]";
+  bootes analyze  <in.mtx> [--pes N]
+global flags (any subcommand):
+  --profile               collect spans/metrics, print profile table to stderr
+  --profile-out FILE.json write the profile as JSON
+  --trace-out FILE.json   write a Chrome trace-event file
+  (BOOTES_PROFILE=1 in the environment also enables profiling)";
+
+/// The global `--profile` / `--profile-out` / `--trace-out` flags, stripped
+/// from the argument list before subcommand dispatch.
+struct ProfileOpts {
+    enabled: bool,
+    profile_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+impl ProfileOpts {
+    fn extract(mut args: Vec<String>) -> Result<(Vec<String>, Self), String> {
+        let mut enabled = false;
+        let mut profile_out = None;
+        let mut trace_out = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--profile" => {
+                    enabled = true;
+                    args.remove(i);
+                }
+                "--profile-out" | "--trace-out" => {
+                    let flag = args.remove(i);
+                    if i >= args.len() {
+                        return Err(format!("{flag} needs a file argument"));
+                    }
+                    let path = args.remove(i);
+                    if flag == "--profile-out" {
+                        profile_out = Some(path);
+                    } else {
+                        trace_out = Some(path);
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        if enabled || profile_out.is_some() || trace_out.is_some() {
+            bootes::obs::set_enabled(true);
+            enabled = true;
+        }
+        enabled |= bootes::obs::init_from_env();
+        Ok((
+            args,
+            ProfileOpts {
+                enabled,
+                profile_out,
+                trace_out,
+            },
+        ))
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let profile = bootes::obs::snapshot();
+        eprint!("{}", bootes::obs::render_table(&profile));
+        if let Some(path) = &self.profile_out {
+            std::fs::write(path, bootes::obs::export_json(&profile))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("profile JSON written to {path}");
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, bootes::obs::export_chrome_trace())
+                .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("Chrome trace written to {path} (open in chrome://tracing)");
+        }
+        Ok(())
+    }
+}
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -115,18 +214,12 @@ fn cmd_reorder(args: &[String]) -> Result<(), String> {
         Some(v) => v.parse().map_err(|e| format!("bad --k {v:?}: {e}"))?,
         None => 8,
     };
-    let algo: Box<dyn Reorderer> = match algo_name.as_str() {
-        "bootes" => Box::new(SpectralReorderer::new(BootesConfig::default().with_k(k))),
-        "recursive" => Box::new(RecursiveSpectralReorderer::default()),
-        "gamma" => Box::new(GammaReorderer::default()),
-        "graph" => Box::new(GraphReorderer::default()),
-        "hier" => Box::new(HierReorderer::default()),
-        other => return Err(format!("unknown algorithm {other:?}")),
-    };
+    let algo = reorderer_from(&algo_name, k)?;
     let out = algo.reorder(&a).map_err(|e| e.to_string())?;
     let reordered = out.permutation.apply_rows(&a).map_err(|e| e.to_string())?;
     let out_path = flag(args, "-o").unwrap_or_else(|| format!("{input}.reordered.mtx"));
-    let mut file = std::fs::File::create(&out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    let mut file =
+        std::fs::File::create(&out_path).map_err(|e| format!("create {out_path}: {e}"))?;
     write_matrix_market(&mut file, &reordered).map_err(|e| e.to_string())?;
     println!(
         "{}: reordered {}x{} ({} nnz) with {} in {:.2} ms (peak {} KiB) -> {}",
@@ -140,6 +233,17 @@ fn cmd_reorder(args: &[String]) -> Result<(), String> {
         out_path
     );
     Ok(())
+}
+
+fn reorderer_from(name: &str, k: usize) -> Result<Box<dyn Reorderer>, String> {
+    Ok(match name {
+        "bootes" => Box::new(SpectralReorderer::new(BootesConfig::default().with_k(k))),
+        "recursive" => Box::new(RecursiveSpectralReorderer::default()),
+        "gamma" => Box::new(GammaReorderer::default()),
+        "graph" => Box::new(GraphReorderer::default()),
+        "hier" => Box::new(HierReorderer::default()),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
 }
 
 fn cmd_features(args: &[String]) -> Result<(), String> {
@@ -159,14 +263,58 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .ok_or("simulate needs an input file")?;
     let a = load(input)?;
     let accel = accel_from(args)?;
-    let b = if a.nrows() == a.ncols() { a.clone() } else { a.transpose() };
+    // Validate reorder flags up front so a typo fails before the (possibly
+    // slow) baseline simulation runs.
+    let algo_name = flag(args, "--reorder").unwrap_or_else(|| "bootes".to_string());
+    let reorderer = if algo_name == "none" {
+        None
+    } else {
+        let k: usize = match flag(args, "--k") {
+            Some(v) => v.parse().map_err(|e| format!("bad --k {v:?}: {e}"))?,
+            None => 8,
+        };
+        Some(reorderer_from(&algo_name, k)?)
+    };
+    let b = if a.nrows() == a.ncols() {
+        a.clone()
+    } else {
+        a.transpose()
+    };
     let rep = simulate_spgemm(&a, &b, &accel).map_err(|e| e.to_string())?;
     println!("accelerator      {}", rep.accelerator);
-    println!("traffic A/B/C    {} / {} / {} bytes", rep.a_bytes, rep.b_bytes, rep.c_bytes);
-    println!("total            {} bytes ({:.2}x compulsory)", rep.total_bytes(), rep.normalized_traffic());
-    println!("cache hit rate   {:.1}%", rep.hit_rate() * 100.0);
-    println!("macs / cycles    {} / {}", rep.macs, rep.cycles);
+    println!("original order:");
+    print_report(&rep);
+    if let Some(algo) = reorderer {
+        let out = algo.reorder(&a).map_err(|e| e.to_string())?;
+        let permuted = out.permutation.apply_rows(&a).map_err(|e| e.to_string())?;
+        let after = simulate_spgemm(&permuted, &b, &accel).map_err(|e| e.to_string())?;
+        println!(
+            "after {} reordering ({:.2} ms, peak {} KiB):",
+            algo.name(),
+            out.stats.elapsed.as_secs_f64() * 1e3,
+            out.stats.peak_bytes / 1024
+        );
+        print_report(&after);
+        println!(
+            "B-traffic change {:+.1}%",
+            (after.b_bytes as f64 / rep.b_bytes.max(1) as f64 - 1.0) * 100.0
+        );
+    }
     Ok(())
+}
+
+fn print_report(rep: &bootes::accel::TrafficReport) {
+    println!(
+        "  traffic A/B/C    {} / {} / {} bytes",
+        rep.a_bytes, rep.b_bytes, rep.c_bytes
+    );
+    println!(
+        "  total            {} bytes ({:.2}x compulsory)",
+        rep.total_bytes(),
+        rep.normalized_traffic()
+    );
+    println!("  cache hit rate   {:.1}%", rep.hit_rate() * 100.0);
+    println!("  macs / cycles    {} / {}", rep.macs, rep.cycles);
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
@@ -180,7 +328,10 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         None => 42,
     };
     let accel = accel_from(args)?;
-    eprintln!("labeling {corpus_size} synthetic matrices on {} (cache {} B)...", accel.name, accel.cache_bytes);
+    eprintln!(
+        "labeling {corpus_size} synthetic matrices on {} (cache {} B)...",
+        accel.name, accel.cache_bytes
+    );
     let corpus = training_corpus(corpus_size, seed, 384).map_err(|e| e.to_string())?;
     let mut x = Vec::new();
     let mut y = Vec::new();
@@ -218,8 +369,14 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 }
 
 fn measure_label(a: &CsrMatrix, accel: &AcceleratorConfig) -> Result<Label, String> {
-    let b = if a.nrows() == a.ncols() { a.clone() } else { a.transpose() };
-    let base = simulate_spgemm(a, &b, accel).map_err(|e| e.to_string())?.total_bytes();
+    let b = if a.nrows() == a.ncols() {
+        a.clone()
+    } else {
+        a.transpose()
+    };
+    let base = simulate_spgemm(a, &b, accel)
+        .map_err(|e| e.to_string())?
+        .total_bytes();
     let mut best: Option<(usize, u64)> = None;
     for &k in &CANDIDATE_KS {
         if k + 1 >= a.nrows() {
@@ -228,7 +385,9 @@ fn measure_label(a: &CsrMatrix, accel: &AcceleratorConfig) -> Result<Label, Stri
         let algo = SpectralReorderer::new(BootesConfig::default().with_k(k));
         let out = algo.reorder(a).map_err(|e| e.to_string())?;
         let permuted = out.permutation.apply_rows(a).map_err(|e| e.to_string())?;
-        let t = simulate_spgemm(&permuted, &b, accel).map_err(|e| e.to_string())?.total_bytes();
+        let t = simulate_spgemm(&permuted, &b, accel)
+            .map_err(|e| e.to_string())?
+            .total_bytes();
         if best.is_none_or(|(_, bt)| t < bt) {
             best = Some((k, t));
         }
@@ -254,7 +413,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         "B-row accesses      {} ({} cold / first-touch)",
         profile.accesses, profile.cold
     );
-    println!("mean reuse distance {:.1} B rows", profile.mean_reuse_distance());
+    println!(
+        "mean reuse distance {:.1} B rows",
+        profile.mean_reuse_distance()
+    );
     println!("predicted LRU hit rate by cache capacity (in B rows):");
     for cap in [16usize, 64, 256, 1024, 4096] {
         println!("  {cap:>5} rows: {:.1}%", profile.hit_rate_at(cap) * 100.0);
@@ -269,7 +431,8 @@ fn cmd_decide(args: &[String]) -> Result<(), String> {
         .ok_or("decide needs an input file")?;
     let model_path = flag(args, "--model").ok_or("decide needs --model <model.json>")?;
     let a = load(input)?;
-    let json = std::fs::read_to_string(&model_path).map_err(|e| format!("read {model_path}: {e}"))?;
+    let json =
+        std::fs::read_to_string(&model_path).map_err(|e| format!("read {model_path}: {e}"))?;
     let tree = DecisionTree::from_json(&json).map_err(|e| e.to_string())?;
     let pipeline = BootesPipeline::new(tree, BootesConfig::default()).map_err(|e| e.to_string())?;
     let decision = pipeline.decide(&a).map_err(|e| e.to_string())?;

@@ -17,6 +17,8 @@
 //! - [`accel`]: the row-wise-dataflow accelerator simulator
 //!   (Flexagon / GAMMA / Trapezoid configurations).
 //! - [`workloads`]: synthetic matrix generators and the evaluation suite.
+//! - [`obs`]: spans, metrics and profile export behind `--profile` /
+//!   `BOOTES_PROFILE=1` (see the module docs for the full metric catalog).
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@ pub use bootes_accel as accel;
 pub use bootes_core as core;
 pub use bootes_linalg as linalg;
 pub use bootes_model as model;
+pub use bootes_obs as obs;
 pub use bootes_reorder as reorder;
 pub use bootes_sparse as sparse;
 pub use bootes_workloads as workloads;

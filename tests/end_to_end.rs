@@ -3,9 +3,7 @@
 
 use bootes::accel::{configs, simulate_spgemm};
 use bootes::core::{BootesConfig, SpectralReorderer};
-use bootes::reorder::{
-    GammaReorderer, GraphReorderer, HierReorderer, OriginalOrder, Reorderer,
-};
+use bootes::reorder::{GammaReorderer, GraphReorderer, HierReorderer, OriginalOrder, Reorderer};
 use bootes::sparse::ops::spgemm;
 use bootes::sparse::{CsrMatrix, Permutation};
 use bootes::workloads::gen::{banded, clustered_with_density, uniform_random, GenConfig};
@@ -135,7 +133,10 @@ fn permutation_composition_matches_sequential_application() {
     let a = uniform_random(&GenConfig::new(80, 80).seed(7), 0.05).unwrap();
     let p = GammaReorderer::default().reorder(&a).unwrap().permutation;
     let step1 = p.apply_rows(&a).unwrap();
-    let q = GraphReorderer::default().reorder(&step1).unwrap().permutation;
+    let q = GraphReorderer::default()
+        .reorder(&step1)
+        .unwrap()
+        .permutation;
     let sequential = q.apply_rows(&step1).unwrap();
     let composite = q.compose(&p).unwrap();
     assert_eq!(composite.apply_rows(&a).unwrap(), sequential);
@@ -179,4 +180,51 @@ fn permuted_matrices_preserve_row_multiset() {
     for i in 0..a.nrows() {
         assert_eq!(a.row(i), b.row(119 - i));
     }
+}
+
+/// `bootes analyze --profile` smoke test: the CLI profiling plumbing must
+/// emit the stderr table and a JSON profile with the documented top-level
+/// keys (`meta`, `spans`, `counters`, `gauges`, `histograms`).
+#[test]
+fn analyze_profile_flag_emits_valid_json_profile() {
+    let dir = std::env::temp_dir().join(format!("bootes_profile_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mtx = dir.join("smoke.mtx");
+    std::fs::write(
+        &mtx,
+        "%%MatrixMarket matrix coordinate real general\n\
+         4 4 4\n1 1 1.0\n2 2 1.0\n3 3 1.0\n4 4 1.0\n",
+    )
+    .unwrap();
+    let profile_path = dir.join("profile.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_bootes"))
+        .arg("analyze")
+        .arg(&mtx)
+        .arg("--profile")
+        .arg("--profile-out")
+        .arg(&profile_path)
+        .output()
+        .expect("run bootes binary");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "analyze failed: {stderr}");
+    assert!(
+        stderr.contains("== bootes profile =="),
+        "missing profile table in stderr: {stderr}"
+    );
+    let text = std::fs::read_to_string(&profile_path).unwrap();
+    // The documented shape: parse both generically and into the typed model.
+    let raw: serde::Value = serde_json::from_str(&text).unwrap();
+    let obj = raw.as_object().expect("profile is a JSON object");
+    for key in ["meta", "spans", "counters", "gauges", "histograms"] {
+        assert!(
+            obj.iter().any(|(k, _)| k == key),
+            "profile missing top-level key {key:?}"
+        );
+    }
+    let profile: bootes::obs::Profile = serde_json::from_str(&text).unwrap();
+    assert_eq!(
+        profile.meta.format_version,
+        bootes::obs::PROFILE_FORMAT_VERSION
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

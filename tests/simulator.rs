@@ -79,7 +79,12 @@ fn stack_distance_prediction_tracks_simulator_across_orderings() {
 #[test]
 fn tiled_kernel_agrees_with_row_wise_on_generated_workloads() {
     for seed in 0..3 {
-        let a = rmat(&GenConfig::new(128, 128).seed(seed), 6.0, (0.45, 0.2, 0.2, 0.15)).unwrap();
+        let a = rmat(
+            &GenConfig::new(128, 128).seed(seed),
+            6.0,
+            (0.45, 0.2, 0.2, 0.15),
+        )
+        .unwrap();
         let blocked = BlockSparseMatrix::from_csr(&a, 16).unwrap();
         let tiled = block_spgemm(&blocked, &blocked).unwrap();
         let reference = spgemm(&a, &a).unwrap();
@@ -92,7 +97,12 @@ fn tiled_kernel_agrees_with_row_wise_on_generated_workloads() {
 
 #[test]
 fn rmat_graphs_flow_through_the_full_pipeline() {
-    let a = rmat(&GenConfig::new(300, 300).seed(9), 8.0, (0.57, 0.19, 0.19, 0.05)).unwrap();
+    let a = rmat(
+        &GenConfig::new(300, 300).seed(9),
+        8.0,
+        (0.57, 0.19, 0.19, 0.05),
+    )
+    .unwrap();
     let out = SpectralReorderer::new(BootesConfig::default().with_k(4))
         .reorder(&a)
         .unwrap();

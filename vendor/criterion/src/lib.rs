@@ -1,0 +1,243 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the harness surface the Bootes benches use — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`] — and reports mean wall-time per
+//! iteration on stdout. There is no statistical analysis, outlier
+//! rejection, or HTML report; timings are indicative only.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(10, Duration::from_millis(100), Duration::from_millis(500));
+        f(&mut b);
+        b.report(&id.label());
+        self
+    }
+}
+
+/// Identifier for one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name` with parameter `param` (rendered `name/param`).
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.param {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            param: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, param: None }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to warm up before timing.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
+        f(&mut b);
+        b.report(&id.label());
+        self
+    }
+
+    /// Runs a benchmark closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
+        f(&mut b, input);
+        b.report(&id.label());
+        self
+    }
+
+    /// Ends the group. (Consumes nothing in this stand-in; kept for API parity.)
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mean: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up_time: Duration, measurement_time: Duration) -> Self {
+        Bencher {
+            sample_size,
+            warm_up_time,
+            measurement_time,
+            mean: None,
+            iters: 0,
+        }
+    }
+
+    /// Calls `routine` repeatedly: first until the warm-up budget elapses,
+    /// then for `sample_size` timed batches within the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the budget is spent (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Size batches so a sample takes roughly measurement_time / samples.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+            if total >= self.measurement_time.saturating_mul(2) {
+                break;
+            }
+        }
+        self.mean = Some(total / iters.max(1) as u32);
+        self.iters = iters;
+    }
+
+    fn report(&self, label: &str) {
+        match self.mean {
+            Some(mean) => println!("  {label}: {mean:?} / iter ({} iters)", self.iters),
+            None => println!("  {label}: no measurement (iter was never called)"),
+        }
+    }
+}
+
+/// Registers benchmark functions under a group name, mirroring criterion's
+/// `criterion_group!(name, fn, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(2);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(2));
+        let mut count = 0u64;
+        g.bench_function("spin", |b| b.iter(|| count = count.wrapping_add(1)));
+        g.bench_with_input(BenchmarkId::new("with_input", 8), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}
