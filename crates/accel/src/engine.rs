@@ -71,34 +71,19 @@ pub fn simulate_spgemm(
     let mut macs = 0u64;
     let mut pe_cycles = vec![0u64; cfg.num_pes];
 
-    // PE scheduling: idle PEs take the next row of A; each simulation step
+    // PE scheduling: idle PEs take the next row of A (a PE that drains its
+    // row picks up the next one within the same step); each simulation step
     // advances every busy PE by one nonzero of its current row, so B fetches
     // from concurrently-active rows interleave in the shared cache just as
-    // concurrent PEs would interleave them.
-    let nrows = a.nrows();
-    let mut next_row = 0usize;
-    // (row, position within the row's nonzeros)
-    let mut active: Vec<Option<(usize, usize)>> = vec![None; cfg.num_pes];
-    let mut remaining = nrows;
-
-    while remaining > 0 {
-        for pe in 0..cfg.num_pes {
-            if active[pe].is_none() && next_row < nrows {
-                active[pe] = Some((next_row, 0));
-                next_row += 1;
-                // Row-dispatch overhead.
-                pe_cycles[pe] += 1;
-            }
-            let Some((row, pos)) = active[pe] else {
-                continue;
-            };
-            let (cols, _) = a.row(row);
-            if pos >= cols.len() {
-                active[pe] = None;
-                remaining -= 1;
-                continue;
-            }
-            let k = cols[pos];
+    // concurrent PEs would interleave them. The schedule is the shared
+    // generator in `bootes_sparse::schedule`, which the analytical reuse
+    // profile consumes too — the two can never diverge.
+    bootes_sparse::schedule::for_each_scheduled_event(a, cfg.num_pes, |ev| match ev {
+        bootes_sparse::schedule::PeEvent::Dispatch { pe, .. } => {
+            // Row-dispatch overhead.
+            pe_cycles[pe] += 1;
+        }
+        bootes_sparse::schedule::PeEvent::Access { pe, col: k, .. } => {
             // Fetch every line of B row k through the shared cache.
             for line in row_first_line[k]..row_first_line[k + 1] {
                 cache.access(line);
@@ -107,9 +92,8 @@ pub fn simulate_spgemm(
             macs += fiber;
             // One MAC per cycle per PE; an empty fiber still costs the lookup.
             pe_cycles[pe] += fiber.max(1);
-            active[pe] = Some((row, pos + 1));
         }
-    }
+    });
 
     // Symbolic row-wise pass for nnz(C) (compulsory output traffic).
     let nnz_c = {
@@ -309,6 +293,39 @@ mod tests {
         assert_eq!(r1.c_bytes, rn.c_bytes);
         // Single PE has a longer critical path.
         assert!(r1.max_pe_cycles >= rn.max_pe_cycles);
+    }
+
+    #[test]
+    fn engine_cache_stats_match_scheduled_stream_replay() {
+        // The analytical reuse profile and the engine must see the same B-row
+        // stream: replaying `scheduled_b_row_stream` through an identical
+        // cache reproduces the engine's hit/miss counts exactly.
+        let a = grouped(96, 4, 8, true);
+        let b = dense_b(32, 16);
+        for cfg in [configs::gamma(), configs::flexagon()] {
+            let report = simulate_spgemm(&a, &b, &cfg).unwrap();
+
+            let mut row_first_line = Vec::with_capacity(b.nrows() + 1);
+            let mut next_line = 0u64;
+            row_first_line.push(0u64);
+            for r in 0..b.nrows() {
+                let bytes = b.row_nnz(r) as u64 * cfg.elem_bytes as u64;
+                next_line += bytes.div_ceil(cfg.line_bytes as u64);
+                row_first_line.push(next_line);
+            }
+            let mut cache = LruCache::new(cfg.num_sets(), cfg.ways);
+            for k in bootes_sparse::schedule::scheduled_b_row_stream(&a, cfg.num_pes) {
+                for line in row_first_line[k]..row_first_line[k + 1] {
+                    cache.access(line);
+                }
+            }
+            assert_eq!(
+                (cache.hits(), cache.misses()),
+                (report.cache_hits, report.cache_misses),
+                "config {}",
+                cfg.name
+            );
+        }
     }
 
     #[test]

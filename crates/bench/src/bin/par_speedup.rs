@@ -1,0 +1,93 @@
+//! Parallel-kernel speedup measurement for `bootes-par`.
+//!
+//! Times serial (`threads = 1`) against parallel (`--threads` /
+//! `BOOTES_THREADS`, default all cores) SpGEMM on a clustered matrix of
+//! ~`BOOTES_PAR_NNZ` nonzeros (default 1e6), verifies the outputs are
+//! bit-identical, and writes `results/par_speedup.json`. On a >= 4-core
+//! machine the dense-accumulator kernel is expected to reach >= 2x.
+
+use std::time::Instant;
+
+use bootes_bench::results_dir;
+use bootes_bench::table::{f2, save_json, Table};
+use bootes_sparse::ops::{par_spgemm, par_spgemm_hash};
+use bootes_sparse::CsrMatrix;
+use bootes_workloads::gen::{clustered_with_density, GenConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct KernelResult {
+    kernel: String,
+    nnz: usize,
+    threads: usize,
+    serial_ms: f64,
+    par_ms: f64,
+    speedup: f64,
+}
+
+/// Smallest wall time over `reps` runs, after one warmup run.
+fn time_min_ms(reps: usize, mut f: impl FnMut() -> CsrMatrix) -> (f64, CsrMatrix) {
+    let out = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let c = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(c.nnz(), out.nnz(), "nondeterministic kernel output");
+    }
+    (best, out)
+}
+
+fn main() {
+    bootes_bench::init_profiling();
+    let target_nnz: usize = std::env::var("BOOTES_PAR_NNZ")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let threads = bootes_par::threads();
+    // ~64 nnz per row keeps the flop count proportional to nnz.
+    let n = (target_nnz / 64).max(64);
+    let density = 64.0 / n as f64;
+    let a = clustered_with_density(&GenConfig::new(n, n).seed(0x0B007E5), 8, 0.9, density)
+        .expect("valid generator parameters");
+    let b = a.clone();
+    println!(
+        "par_speedup: {} x {} matrix, {} nnz, {} thread(s)",
+        n,
+        n,
+        a.nnz(),
+        threads
+    );
+
+    let mut table = Table::new(["kernel", "serial ms", "par ms", "speedup"]);
+    let mut results = Vec::new();
+    type Kernel =
+        fn(&CsrMatrix, &CsrMatrix, usize) -> Result<CsrMatrix, bootes_sparse::SparseError>;
+    let kernels: [(&str, Kernel); 2] = [
+        ("spgemm.dense_acc", |a, b, t| par_spgemm(a, b, t)),
+        ("spgemm.hash_acc", |a, b, t| par_spgemm_hash(a, b, t)),
+    ];
+    for (name, kernel) in kernels {
+        let (serial_ms, c_serial) = time_min_ms(3, || kernel(&a, &b, 1).expect("valid operands"));
+        let (par_ms, c_par) = time_min_ms(3, || kernel(&a, &b, threads).expect("valid operands"));
+        assert_eq!(
+            c_serial, c_par,
+            "{name}: parallel output differs from serial"
+        );
+        let speedup = serial_ms / par_ms;
+        table.row([name.to_string(), f2(serial_ms), f2(par_ms), f2(speedup)]);
+        results.push(KernelResult {
+            kernel: name.to_string(),
+            nnz: a.nnz(),
+            threads,
+            serial_ms,
+            par_ms,
+            speedup,
+        });
+    }
+    table.print("Parallel SpGEMM speedup (bit-identical outputs)");
+    if threads < 4 {
+        println!("note: only {threads} thread(s) available; >= 2x expects >= 4 cores");
+    }
+    save_json(&results_dir(), "par_speedup.json", &results);
+}

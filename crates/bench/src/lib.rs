@@ -144,12 +144,23 @@ fn traffic_at(a: &CsrMatrix, b: &CsrMatrix, k: Option<usize>, accel: &Accelerato
 pub fn measure_label(a: &CsrMatrix, accel: &AcceleratorConfig) -> Label {
     let b = b_operand(a);
     let base = traffic_at(a, &b, None, accel);
+    // Each candidate k is an independent reorder+simulate pipeline; fan them
+    // out and fold the winner in k order, so the chosen label is the same for
+    // any thread count (strict `<` keeps the first-smallest-k tie-break).
+    let sweeps = bootes_par::map_indices(
+        bootes_par::threads().min(CANDIDATE_KS.len()),
+        CANDIDATE_KS.len(),
+        |i| {
+            let k = CANDIDATE_KS[i];
+            if k + 1 >= a.nrows() {
+                None
+            } else {
+                Some((k, traffic_at(a, &b, Some(k), accel)))
+            }
+        },
+    );
     let mut best: Option<(usize, u64)> = None;
-    for &k in &CANDIDATE_KS {
-        if k + 1 >= a.nrows() {
-            continue;
-        }
-        let t = traffic_at(a, &b, Some(k), accel);
+    for (k, t) in sweeps.into_iter().flatten() {
         if best.is_none_or(|(_, bt)| t < bt) {
             best = Some((k, t));
         }

@@ -137,6 +137,29 @@ impl RecursiveSpectralReorderer {
         let mid = rows.len() / 2;
         let left: Vec<usize> = order[..mid].iter().map(|&i| rows[i]).collect();
         let right: Vec<usize> = order[mid..].iter().map(|&i| rows[i]).collect();
+
+        // Near the root both halves are large independent subproblems, so run
+        // them on two scoped threads. Each half writes into its own order
+        // vector and tracker; stitching left-then-right and folding the
+        // larger child peak into the parent tracker reproduces the serial
+        // schedule exactly (bit-identical permutation and peak_bytes).
+        if depth < 2 && bootes_par::threads() > 1 {
+            let run = |rows: Vec<usize>| {
+                let mut sub_out = Vec::with_capacity(rows.len());
+                let mut sub_mem = MemTracker::new();
+                self.bisect(a, rows, depth + 1, &mut sub_out, &mut sub_mem)
+                    .map(|()| (sub_out, sub_mem))
+            };
+            let (l, r) = bootes_par::join(true, || run(left), || run(right));
+            let (l_out, l_mem) = l?;
+            let (r_out, r_mem) = r?;
+            out.extend_from_slice(&l_out);
+            out.extend_from_slice(&r_out);
+            let child_peak = l_mem.peak_bytes().max(r_mem.peak_bytes());
+            mem.alloc(child_peak);
+            mem.free(child_peak);
+            return Ok(());
+        }
         self.bisect(a, left, depth + 1, out, mem)?;
         self.bisect(a, right, depth + 1, out, mem)
     }
@@ -245,5 +268,18 @@ mod tests {
             r.reorder(&a).unwrap().permutation,
             r.reorder(&a).unwrap().permutation
         );
+    }
+
+    #[test]
+    fn parallel_split_is_bit_identical_to_serial() {
+        let a = scrambled_blocks(128, 4, 8, 9);
+        let r = RecursiveSpectralReorderer::default();
+        bootes_par::set_threads(1);
+        let serial = r.reorder(&a).unwrap();
+        bootes_par::set_threads(4);
+        let parallel = r.reorder(&a).unwrap();
+        bootes_par::set_threads(0);
+        assert_eq!(serial.permutation, parallel.permutation);
+        assert_eq!(serial.stats.peak_bytes, parallel.stats.peak_bytes);
     }
 }

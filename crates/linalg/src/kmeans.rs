@@ -80,6 +80,27 @@ pub fn kmeans(
     k: usize,
     cfg: &KMeansConfig,
 ) -> Result<KMeansResult, LinalgError> {
+    kmeans_threads(points, k, cfg, bootes_par::threads())
+}
+
+/// [`kmeans`] over an explicit thread budget.
+///
+/// Restarts fan out first (they are fully independent: each is seeded with
+/// `cfg.seed + init`); leftover threads parallelize the assignment step
+/// inside each run. Results are folded in `init` order with the same
+/// strictly-lower-inertia comparison as the serial loop, and each run is
+/// internally chunk-order deterministic, so the output is **bit-identical**
+/// to the serial computation for every thread count.
+///
+/// # Errors
+///
+/// Same contract as [`kmeans`].
+pub fn kmeans_threads(
+    points: &DenseMatrix,
+    k: usize,
+    cfg: &KMeansConfig,
+    threads: usize,
+) -> Result<KMeansResult, LinalgError> {
     let n = points.nrows();
     let d = points.ncols();
     if k == 0 {
@@ -101,12 +122,21 @@ pub fn kmeans(
         ));
     }
 
-    let mut best: Option<KMeansResult> = None;
-    for init in 0..cfg.n_init.max(1) {
+    let n_init = cfg.n_init.max(1);
+    let threads = threads.max(1);
+    // Restarts are the coarser (cheaper-to-merge) axis; give the remainder
+    // of the budget to the per-run assignment step without oversubscribing.
+    let outer = threads.min(n_init);
+    let inner = (threads / outer).max(1);
+    let runs = bootes_par::map_indices(outer, n_init, |init| {
         let _run_span = bootes_obs::span!("kmeans.run");
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(init as u64));
-        let run = lloyd(points, k, cfg, &mut rng);
+        let run = lloyd(points, k, cfg, &mut rng, inner);
         bootes_obs::counter_add("kmeans.iterations", run.iterations as u64);
+        run
+    });
+    let mut best: Option<KMeansResult> = None;
+    for run in runs {
         if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
             best = Some(run);
         }
@@ -114,6 +144,31 @@ pub fn kmeans(
     let best = best.expect("at least one init");
     bootes_obs::gauge_set("kmeans.inertia", best.inertia);
     Ok(best)
+}
+
+/// The index drawn from the distance-weighted k-means++ distribution: the
+/// first *positive-weight* index whose cumulative weight reaches `target`.
+///
+/// Zero-weight entries are points that coincide with an existing center —
+/// they must never be drawn, even when floating-point residue leaves
+/// `target` above the true cumulative total (the historical fallback of
+/// `n - 1` could return such a point and seed a duplicate centroid).
+///
+/// # Panics
+///
+/// Panics if every weight is zero (callers guarantee `Σ dists > 0`).
+fn weighted_pick(dists: &[f64], mut target: f64) -> usize {
+    let mut chosen = None;
+    for (i, &dist) in dists.iter().enumerate() {
+        if dist > 0.0 {
+            chosen = Some(i);
+            target -= dist;
+            if target <= 0.0 {
+                break;
+            }
+        }
+    }
+    chosen.expect("a positive total weight implies a positive entry")
 }
 
 fn plus_plus_init(points: &DenseMatrix, k: usize, rng: &mut StdRng) -> Vec<usize> {
@@ -130,16 +185,7 @@ fn plus_plus_init(points: &DenseMatrix, k: usize, rng: &mut StdRng) -> Vec<usize
             // non-center index to keep centers distinct where possible.
             (0..n).find(|i| !centers.contains(i)).unwrap_or(0)
         } else {
-            let mut target = rng.random::<f64>() * total;
-            let mut chosen = n - 1;
-            for (i, &dist) in dists.iter().enumerate() {
-                target -= dist;
-                if target <= 0.0 {
-                    chosen = i;
-                    break;
-                }
-            }
-            chosen
+            weighted_pick(&dists, rng.random::<f64>() * total)
         };
         centers.push(next);
         for (i, dist) in dists.iter_mut().enumerate() {
@@ -152,7 +198,99 @@ fn plus_plus_init(points: &DenseMatrix, k: usize, rng: &mut StdRng) -> Vec<usize
     centers
 }
 
-fn lloyd(points: &DenseMatrix, k: usize, cfg: &KMeansConfig, rng: &mut StdRng) -> KMeansResult {
+/// Nearest centroid and squared distance for every point in `range` —
+/// the chunk body of the parallel assignment step. The per-point result is
+/// a pure function of `(points, centroids, i)`, so chunk boundaries cannot
+/// change it.
+fn assign_chunk(
+    points: &DenseMatrix,
+    centroids: &DenseMatrix,
+    range: std::ops::Range<usize>,
+) -> (Vec<usize>, Vec<f64>) {
+    let k = centroids.nrows();
+    let mut labels = Vec::with_capacity(range.len());
+    let mut dists = Vec::with_capacity(range.len());
+    for i in range {
+        let p = points.row(i);
+        let mut best_c = 0;
+        let mut best_d = f64::INFINITY;
+        for c in 0..k {
+            let dist = sq_dist(p, centroids.row(c));
+            if dist < best_d {
+                best_d = dist;
+                best_c = c;
+            }
+        }
+        labels.push(best_c);
+        dists.push(best_d);
+    }
+    (labels, dists)
+}
+
+/// Assigns every point to its nearest centroid over `threads` workers,
+/// writing `labels` and per-point squared distances into `dists` (both in
+/// index order — any reduction over `dists` must stay serial to keep the
+/// floating-point summation order canonical).
+fn assign_all(
+    points: &DenseMatrix,
+    centroids: &DenseMatrix,
+    labels: &mut [usize],
+    dists: &mut [f64],
+    threads: usize,
+) {
+    let ranges = bootes_par::partition_even(points.nrows(), threads);
+    let chunks =
+        bootes_par::map_ranges(threads, &ranges, |_, r| assign_chunk(points, centroids, r));
+    let mut at = 0usize;
+    for (chunk_labels, chunk_dists) in chunks {
+        labels[at..at + chunk_labels.len()].copy_from_slice(&chunk_labels);
+        dists[at..at + chunk_dists.len()].copy_from_slice(&chunk_dists);
+        at += chunk_labels.len();
+    }
+}
+
+/// Moves the point farthest from its current centroid into the empty cluster
+/// `c`, considering only donor clusters that keep at least one member
+/// (`counts > 1`). Returns the moved point, or `None` when no cluster can
+/// donate (every nonempty cluster is a singleton).
+///
+/// Restricting the argmax to viable donors is the fix for a silent no-op:
+/// the historical code picked the *globally* farthest point and skipped the
+/// repair entirely when that point's cluster was a singleton, leaving the
+/// empty cluster empty and its centroid stale for the final inertia pass.
+fn repair_empty_cluster(
+    points: &DenseMatrix,
+    c: usize,
+    labels: &mut [usize],
+    counts: &mut [usize],
+    sums: &mut DenseMatrix,
+    centroids: &DenseMatrix,
+) -> Option<usize> {
+    let far = (0..points.nrows())
+        .filter(|&p| counts[labels[p]] > 1)
+        .max_by(|&a, &b| {
+            let da = sq_dist(points.row(a), centroids.row(labels[a]));
+            let db = sq_dist(points.row(b), centroids.row(labels[b]));
+            da.partial_cmp(&db).expect("finite distances")
+        })?;
+    let old = labels[far];
+    counts[old] -= 1;
+    for (s, &v) in sums.row_mut(old).iter_mut().zip(points.row(far)) {
+        *s -= v;
+    }
+    labels[far] = c;
+    counts[c] = 1;
+    sums.row_mut(c).copy_from_slice(points.row(far));
+    Some(far)
+}
+
+fn lloyd(
+    points: &DenseMatrix,
+    k: usize,
+    cfg: &KMeansConfig,
+    rng: &mut StdRng,
+    threads: usize,
+) -> KMeansResult {
     let n = points.nrows();
     let d = points.ncols();
     let seeds = plus_plus_init(points, k, rng);
@@ -162,23 +300,12 @@ fn lloyd(points: &DenseMatrix, k: usize, cfg: &KMeansConfig, rng: &mut StdRng) -
     }
 
     let mut labels = vec![0usize; n];
+    let mut dists = vec![0.0f64; n];
     let mut iterations = 0;
     for iter in 0..cfg.max_iter {
         iterations = iter + 1;
-        // Assignment step.
-        for (i, label) in labels.iter_mut().enumerate() {
-            let p = points.row(i);
-            let mut best_c = 0;
-            let mut best_d = f64::INFINITY;
-            for c in 0..k {
-                let dist = sq_dist(p, centroids.row(c));
-                if dist < best_d {
-                    best_d = dist;
-                    best_c = c;
-                }
-            }
-            *label = best_c;
-        }
+        // Assignment step (parallel; bit-identical to serial).
+        assign_all(points, &centroids, &mut labels, &mut dists, threads);
         // Update step.
         let mut sums = DenseMatrix::zeros(k, d);
         let mut counts = vec![0usize; k];
@@ -189,26 +316,10 @@ fn lloyd(points: &DenseMatrix, k: usize, cfg: &KMeansConfig, rng: &mut StdRng) -
                 *s += v;
             }
         }
-        // Empty-cluster repair: steal the point farthest from its centroid.
+        // Empty-cluster repair: steal the farthest point of a viable donor.
         for c in 0..k {
             if counts[c] == 0 {
-                let far = (0..n)
-                    .max_by(|&a, &b| {
-                        let da = sq_dist(points.row(a), centroids.row(labels[a]));
-                        let db = sq_dist(points.row(b), centroids.row(labels[b]));
-                        da.partial_cmp(&db).expect("finite distances")
-                    })
-                    .expect("n >= k >= 1");
-                let old = labels[far];
-                if counts[old] > 1 {
-                    counts[old] -= 1;
-                    for (s, &v) in sums.row_mut(old).iter_mut().zip(points.row(far)) {
-                        *s -= v;
-                    }
-                    labels[far] = c;
-                    counts[c] = 1;
-                    sums.row_mut(c).copy_from_slice(points.row(far));
-                }
+                repair_empty_cluster(points, c, &mut labels, &mut counts, &mut sums, &centroids);
             }
         }
         let mut movement = 0.0;
@@ -230,22 +341,10 @@ fn lloyd(points: &DenseMatrix, k: usize, cfg: &KMeansConfig, rng: &mut StdRng) -
             break;
         }
     }
-    // Final assignment and inertia.
-    let mut inertia = 0.0;
-    for (i, label) in labels.iter_mut().enumerate() {
-        let p = points.row(i);
-        let mut best_c = 0;
-        let mut best_d = f64::INFINITY;
-        for c in 0..k {
-            let dist = sq_dist(p, centroids.row(c));
-            if dist < best_d {
-                best_d = dist;
-                best_c = c;
-            }
-        }
-        *label = best_c;
-        inertia += best_d;
-    }
+    // Final assignment and inertia. The distances come back in index order,
+    // so the serial sum below reproduces the single-threaded rounding.
+    assign_all(points, &centroids, &mut labels, &mut dists, threads);
+    let inertia = dists.iter().sum();
     KMeansResult {
         labels,
         centroids,
@@ -336,5 +435,95 @@ mod tests {
         let pts = DenseMatrix::from_rows(4, 1, vec![1.0, 2.0, 3.0, 6.0]);
         let r = kmeans(&pts, 1, &KMeansConfig::default()).unwrap();
         assert!((r.centroids[(0, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    /// Regression (empty-cluster repair): when the globally farthest point
+    /// lives in a singleton cluster, the repair used to no-op silently and
+    /// leave the empty cluster empty. It must instead take a point from a
+    /// cluster that can afford to donate one.
+    #[test]
+    fn repair_skips_singleton_donors() {
+        // c0 = {p0, p1} near 0; c1 = {p2} whose centroid drifted to 50, so
+        // p2 is by far the globally farthest point — but moving it would
+        // just relocate the hole. c2 is the empty cluster to fill.
+        let points = DenseMatrix::from_rows(3, 1, vec![0.0, 0.2, 100.0]);
+        let mut labels = vec![0usize, 0, 1];
+        let mut counts = vec![2usize, 1, 0];
+        let mut sums = DenseMatrix::from_rows(3, 1, vec![0.2, 100.0, 0.0]);
+        let centroids = DenseMatrix::from_rows(3, 1, vec![0.1, 50.0, 0.0]);
+        let moved =
+            repair_empty_cluster(&points, 2, &mut labels, &mut counts, &mut sums, &centroids);
+        assert_eq!(moved, Some(1), "must donate from c0, not the singleton c1");
+        assert_eq!(counts, vec![1, 1, 1]);
+        assert_eq!(labels, vec![0, 2, 1]);
+        assert_eq!(sums[(2, 0)], 0.2);
+        assert!((sums[(0, 0)] - 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn repair_without_viable_donor_is_a_noop() {
+        // Both nonempty clusters are singletons: nothing can donate.
+        let points = DenseMatrix::from_rows(2, 1, vec![0.0, 1.0]);
+        let mut labels = vec![0usize, 1];
+        let mut counts = vec![1usize, 1, 0];
+        let mut sums = DenseMatrix::from_rows(3, 1, vec![0.0, 1.0, 0.0]);
+        let centroids = DenseMatrix::from_rows(3, 1, vec![0.0, 1.0, 0.5]);
+        let moved =
+            repair_empty_cluster(&points, 2, &mut labels, &mut counts, &mut sums, &centroids);
+        assert_eq!(moved, None);
+        assert_eq!(labels, vec![0, 1]);
+        assert_eq!(counts, vec![1, 1, 0]);
+    }
+
+    /// Regression (k-means++ weighted draw): floating-point residue can
+    /// leave `target > 0` after the cumulative walk; the fallback used to
+    /// return index `n - 1` even when that point has distance 0 (an
+    /// already-chosen center), seeding a duplicate centroid. The draw must
+    /// land on the last *positive-weight* point instead.
+    #[test]
+    fn weighted_pick_never_returns_zero_weight_points() {
+        // Residual target beyond the true total: must not pick trailing 0.
+        assert_eq!(weighted_pick(&[0.0, 1.0, 0.0], 1.0 + 1e-9), 1);
+        assert_eq!(weighted_pick(&[0.5, 0.0, 0.25], 10.0), 2);
+        // Zero target: must not pick a leading zero-weight point.
+        assert_eq!(weighted_pick(&[0.0, 2.0], 0.0), 1);
+        // Ordinary draw: first index whose cumulative weight reaches target.
+        assert_eq!(weighted_pick(&[1.0, 1.0, 1.0], 1.5), 1);
+    }
+
+    #[test]
+    fn plus_plus_seeds_distinct_whenever_k_distinct_points_exist() {
+        // Three distinct values among duplicates: k = 3 must always seed
+        // three distinct coordinates, whatever the RNG does.
+        let pts = DenseMatrix::from_rows(6, 1, vec![0.0, 0.0, 5.0, 5.0, 9.0, 9.0]);
+        for seed in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let centers = plus_plus_init(&pts, 3, &mut rng);
+            let mut vals: Vec<f64> = centers.iter().map(|&i| pts.row(i)[0]).collect();
+            vals.sort_by(f64::total_cmp);
+            vals.dedup();
+            assert_eq!(vals.len(), 3, "seed {seed} produced duplicate seeds");
+        }
+    }
+
+    #[test]
+    fn parallel_kmeans_is_bit_identical_to_serial() {
+        let pts = two_blobs();
+        let cfg = KMeansConfig {
+            n_init: 5,
+            ..KMeansConfig::default()
+        };
+        let serial = kmeans_threads(&pts, 3, &cfg, 1).unwrap();
+        for threads in [2usize, 4, 7, 16] {
+            let par = kmeans_threads(&pts, 3, &cfg, threads).unwrap();
+            assert_eq!(par.labels, serial.labels, "threads {threads}");
+            assert_eq!(par.inertia, serial.inertia, "threads {threads}");
+            assert_eq!(
+                par.centroids.as_slice(),
+                serial.centroids.as_slice(),
+                "threads {threads}"
+            );
+            assert_eq!(par.iterations, serial.iterations);
+        }
     }
 }

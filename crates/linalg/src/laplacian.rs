@@ -168,8 +168,11 @@ impl crate::operator::LinearOperator for ImplicitNormalizedLaplacian {
         for ((s, &xi), &w) in scaled.iter_mut().zip(x).zip(&self.inv_sqrt) {
             *s = xi * w;
         }
-        self.at_bin.matvec_into(&scaled, &mut cols);
-        self.a_bin.matvec_into(&cols, &mut scaled);
+        // The Lanczos hot loop: both pattern SpMVs run chunked (bit-identical
+        // to serial), which is where the operator's parallelism comes from.
+        let threads = bootes_par::threads();
+        self.at_bin.par_matvec_into(&scaled, &mut cols, threads);
+        self.a_bin.par_matvec_into(&cols, &mut scaled, threads);
         for ((yi, &xi), (&s, &w)) in y.iter_mut().zip(x).zip(scaled.iter().zip(&self.inv_sqrt)) {
             *yi = xi - w * s;
         }

@@ -41,7 +41,7 @@ pub mod tridiag;
 pub mod vecops;
 
 pub use error::LinalgError;
-pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use kmeans::{kmeans, kmeans_threads, KMeansConfig, KMeansResult};
 pub use lanczos::{lanczos_smallest, Eigenpairs, LanczosConfig};
 pub use laplacian::normalized_laplacian;
 pub use operator::LinearOperator;

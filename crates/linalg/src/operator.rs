@@ -29,7 +29,9 @@ impl LinearOperator for CsrMatrix {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.matvec_into(x, y);
+        // Chunked SpMV, bit-identical to the serial matvec (small matrices
+        // take the serial path inside par_matvec_into).
+        self.par_matvec_into(x, y, bootes_par::threads());
     }
 }
 

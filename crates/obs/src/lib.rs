@@ -42,6 +42,7 @@
 //! | `accel.simulate` | `bootes-accel` — full SpGEMM simulation |
 //! | `accel.symbolic` | `bootes-accel` — symbolic output sizing |
 //! | `spgemm.dense_acc` / `spgemm.hash_acc` / `spgemm.block` | `bootes-sparse` kernels |
+//! | `par.worker` | `bootes-par` — one worker thread's share of a parallel kernel |
 //!
 //! Counters:
 //!

@@ -1,0 +1,343 @@
+#![warn(missing_docs)]
+//! Deterministic multi-threading primitives for the Bootes kernels.
+//!
+//! The vendored dependency stand-ins provide no rayon, so this crate builds
+//! the little that the workspace needs directly on [`std::thread::scope`]:
+//!
+//! - a process-wide thread-count policy ([`threads`]) resolved from
+//!   [`set_threads`] (the CLI's `--threads N`), the `BOOTES_THREADS`
+//!   environment variable, or [`std::thread::available_parallelism`],
+//! - a weighted contiguous range partitioner ([`partition_weighted`]) that
+//!   balances nnz/flop work across chunks,
+//! - ordered-merge parallel combinators ([`map_ranges`], [`map_indices`],
+//!   [`for_each_chunk_mut`], [`join`]) whose results are stitched back in
+//!   chunk order.
+//!
+//! # Determinism
+//!
+//! Every combinator here is *bit-deterministic*: chunk results are collected
+//! by chunk index and merged in chunk order, never in completion order, so a
+//! caller that computes independent per-row (or per-chunk) results observes
+//! output identical to a serial loop regardless of the thread count or OS
+//! scheduling. Callers are responsible for keeping any cross-chunk reduction
+//! order-canonical (e.g. summing partial floating-point results in chunk
+//! order, or deferring the reduction to a serial pass in index order).
+//!
+//! Worker threads record their busy time under the `par.worker` span through
+//! the `bootes-obs` registry, so profiles show per-thread utilization.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Explicitly configured thread count; `0` means "not set, use the default".
+static EXPLICIT: AtomicUsize = AtomicUsize::new(0);
+/// Lazily resolved default (`BOOTES_THREADS` env, else available parallelism).
+static DEFAULT: OnceLock<usize> = OnceLock::new();
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Overrides the global thread count used by [`threads`].
+///
+/// `0` clears the override, falling back to `BOOTES_THREADS` or the
+/// available parallelism. The CLI wires `--threads N` here.
+pub fn set_threads(n: usize) {
+    EXPLICIT.store(n, Ordering::Relaxed);
+}
+
+/// The thread count kernels should use: an explicit [`set_threads`] value if
+/// one was set, else `BOOTES_THREADS` from the environment (read once), else
+/// [`available`] parallelism.
+pub fn threads() -> usize {
+    match EXPLICIT.load(Ordering::Relaxed) {
+        0 => *DEFAULT.get_or_init(|| {
+            std::env::var("BOOTES_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(available)
+        }),
+        n => n,
+    }
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges of approximately
+/// equal total weight.
+///
+/// `weight(i)` is the cost of item `i` (e.g. a row's nnz); every weight is
+/// padded by 1 so zero-weight items still spread across parts. The returned
+/// ranges are non-empty, in order, and cover `0..n` exactly; fewer than
+/// `parts` ranges are returned when `n < parts` or when heavy head items
+/// exhaust the weight early.
+pub fn partition_weighted(
+    n: usize,
+    parts: usize,
+    weight: impl Fn(usize) -> u64,
+) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n);
+    if n == 0 {
+        return Vec::new();
+    }
+    if parts == 1 {
+        // One chunk spanning all rows (not a 0..n index list).
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..n];
+    }
+    let w: Vec<u64> = (0..n).map(|i| weight(i).saturating_add(1)).collect();
+    let total: u64 = w.iter().sum();
+    let mut ranges: Vec<Range<usize>> = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    let mut done = 0u64;
+    for (i, &wi) in w.iter().enumerate() {
+        acc += wi;
+        // Close the chunk once it holds an even share of the remaining work,
+        // leaving at least one part for the tail.
+        let share = (total - done).div_ceil((parts - ranges.len()) as u64);
+        if acc >= share && ranges.len() + 1 < parts {
+            ranges.push(start..i + 1);
+            start = i + 1;
+            done += acc;
+            acc = 0;
+        }
+    }
+    if start < n {
+        ranges.push(start..n);
+    }
+    ranges
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges of near-equal length.
+pub fn partition_even(n: usize, parts: usize) -> Vec<Range<usize>> {
+    partition_weighted(n, parts, |_| 0)
+}
+
+/// Applies `f` to every range on up to `threads` worker threads and returns
+/// the results **in range order** (the ordered merge).
+///
+/// `f(chunk_index, range)` must be a pure function of its arguments for the
+/// determinism guarantee to carry through to the caller. With `threads <= 1`
+/// or a single range the closure runs inline on the calling thread.
+pub fn map_ranges<R, F>(threads: usize, ranges: &[Range<usize>], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    if threads <= 1 || ranges.len() <= 1 {
+        return ranges
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, r)| f(i, r))
+            .collect();
+    }
+    let workers = threads.min(ranges.len());
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(ranges.len());
+    out.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let _span = bootes_obs::span!("par.worker");
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= ranges.len() {
+                            break;
+                        }
+                        produced.push((i, f(i, ranges[i].clone())));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            let produced = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            for (i, r) in produced {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every chunk produced a result"))
+        .collect()
+}
+
+/// Applies `f` to every index in `0..n` on up to `threads` worker threads,
+/// returning results in index order. Convenience wrapper over [`map_ranges`]
+/// for coarse-grained tasks (e.g. independent k-means restarts).
+pub fn map_indices<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let ranges: Vec<Range<usize>> = (0..n).map(|i| i..i + 1).collect();
+    map_ranges(threads, &ranges, |i, _| f(i))
+}
+
+/// Runs `f` over disjoint mutable chunks of `data`, one scoped thread per
+/// range (so `ranges` should come from a partitioner called with
+/// `parts <= threads`).
+///
+/// `ranges` must be contiguous, in order, and cover `0..data.len()` exactly;
+/// `f(chunk_index, range, chunk)` receives the chunk's global index range so
+/// it can address global state (e.g. the row index of a matvec).
+///
+/// # Panics
+///
+/// Panics if `ranges` does not tile `0..data.len()`.
+pub fn for_each_chunk_mut<T, F>(threads: usize, data: &mut [T], ranges: &[Range<usize>], f: F)
+where
+    T: Send,
+    F: Fn(usize, Range<usize>, &mut [T]) + Sync,
+{
+    let mut expected = 0usize;
+    for r in ranges {
+        assert_eq!(r.start, expected, "ranges must tile the slice contiguously");
+        expected = r.end;
+    }
+    assert_eq!(expected, data.len(), "ranges must cover the whole slice");
+    if threads <= 1 || ranges.len() <= 1 {
+        for (i, r) in ranges.iter().enumerate() {
+            f(i, r.clone(), &mut data[r.clone()]);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        for (i, r) in ranges.iter().enumerate() {
+            let (chunk, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let r = r.clone();
+            scope.spawn(move || {
+                let _span = bootes_obs::span!("par.worker");
+                f(i, r, chunk);
+            });
+        }
+    });
+}
+
+/// Runs `fa` and `fb`, concurrently when `parallel` is true, and returns both
+/// results as `(a, b)` — the deterministic two-way fork for recursive
+/// divide-and-conquer (e.g. spectral bisection halves).
+pub fn join<A, B, FA, FB>(parallel: bool, fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if !parallel {
+        let a = fa();
+        let b = fb();
+        return (a, b);
+    }
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(move || {
+            let _span = bootes_obs::span!("par.worker");
+            fa()
+        });
+        let b = fb();
+        let a = ha.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (a, b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_tiles(ranges: &[Range<usize>], n: usize) {
+        let mut expected = 0;
+        for r in ranges {
+            assert_eq!(r.start, expected);
+            assert!(r.end > r.start, "empty range {r:?}");
+            expected = r.end;
+        }
+        assert_eq!(expected, n);
+    }
+
+    #[test]
+    fn partition_covers_contiguously() {
+        for n in [0usize, 1, 2, 7, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = partition_weighted(n, parts, |i| (i % 5) as u64);
+                assert!(ranges.len() <= parts.max(1));
+                assert_tiles(&ranges, n);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_respects_heavy_head() {
+        // Item 0 carries almost all the weight: it must sit alone in the
+        // first chunk instead of dragging half the items with it.
+        let ranges = partition_weighted(4, 2, |i| if i == 0 { 1000 } else { 1 });
+        assert_eq!(ranges, vec![0..1, 1..4]);
+    }
+
+    #[test]
+    fn partition_even_balances_lengths() {
+        let ranges = partition_even(10, 3);
+        assert_tiles(&ranges, 10);
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert!(lens.iter().all(|&l| (3..=4).contains(&l)), "{lens:?}");
+    }
+
+    #[test]
+    fn map_ranges_merges_in_order() {
+        let ranges = partition_even(100, 7);
+        let serial = map_ranges(1, &ranges, |i, r| (i, r.start, r.end));
+        for t in [2usize, 3, 16] {
+            assert_eq!(map_ranges(t, &ranges, |i, r| (i, r.start, r.end)), serial);
+        }
+    }
+
+    #[test]
+    fn map_indices_is_identity_ordered() {
+        let out = map_indices(4, 9, |i| i * i);
+        assert_eq!(out, (0..9).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_chunk_mut_writes_disjointly() {
+        let mut data = vec![0usize; 23];
+        let ranges = partition_even(data.len(), 4);
+        for_each_chunk_mut(4, &mut data, &ranges, |_, range, chunk| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = range.start + off;
+            }
+        });
+        assert_eq!(data, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the slice")]
+    fn for_each_chunk_mut_rejects_gaps() {
+        let mut data = vec![0usize; 4];
+        for_each_chunk_mut(2, &mut data, &[0..1, 2..4], |_, _, _| {});
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        for parallel in [false, true] {
+            let (a, b) = join(parallel, || 1 + 1, || "x".to_string() + "y");
+            assert_eq!((a, b.as_str()), (2, "xy"));
+        }
+    }
+
+    #[test]
+    fn explicit_thread_count_wins() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+}

@@ -154,34 +154,17 @@ pub fn b_reuse_profile(a: &CsrMatrix) -> ReuseProfile {
 
 /// Like [`b_reuse_profile`] but with the access stream interleaved across
 /// `num_pes` processing elements exactly as the row-wise engine schedules it
-/// (idle PEs take the next row; each step advances every busy PE by one
-/// nonzero). Concurrent PEs working on similar adjacent rows re-touch the
-/// same `B` rows within a few steps, so after a good reordering the
-/// scheduled profile shows far shorter distances than the sequential one.
+/// (a PE that drains its row takes the next row *in the same step*; each step
+/// advances every busy PE by one nonzero). Concurrent PEs working on similar
+/// adjacent rows re-touch the same `B` rows within a few steps, so after a
+/// good reordering the scheduled profile shows far shorter distances than the
+/// sequential one.
+///
+/// The stream comes from [`bootes_sparse::schedule::scheduled_b_row_stream`],
+/// the same scheduler the cycle-accurate engine replays, so the analytical
+/// profile and the simulated traffic always agree on PE assignment.
 pub fn b_reuse_profile_scheduled(a: &CsrMatrix, num_pes: usize) -> ReuseProfile {
-    let num_pes = num_pes.max(1);
-    let nrows = a.nrows();
-    let mut stream = Vec::with_capacity(a.nnz());
-    let mut active: Vec<Option<(usize, usize)>> = vec![None; num_pes];
-    let mut next_row = 0usize;
-    let mut remaining = nrows;
-    while remaining > 0 {
-        for slot in active.iter_mut() {
-            if slot.is_none() && next_row < nrows {
-                *slot = Some((next_row, 0));
-                next_row += 1;
-            }
-            let Some((row, pos)) = *slot else { continue };
-            let (cols, _) = a.row(row);
-            if pos >= cols.len() {
-                *slot = None;
-                remaining -= 1;
-                continue;
-            }
-            stream.push(cols[pos]);
-            *slot = Some((row, pos + 1));
-        }
-    }
+    let stream = bootes_sparse::schedule::scheduled_b_row_stream(a, num_pes);
     reuse_profile_of_stream(stream, a.ncols())
 }
 
@@ -306,6 +289,42 @@ mod tests {
         // With 8 PEs in lockstep, column 0 is accessed 8 times in a row:
         // 7 of those have stack distance 0.
         assert!(sched.histogram[0] >= 7, "histogram {:?}", sched.histogram);
+    }
+
+    #[test]
+    fn scheduled_refill_happens_in_the_same_step() {
+        // Rows [0], [1, 2], [1] on 2 PEs. PE0 drains row 0 after step 1 and
+        // must take row 2 within step 2, emitting its first access *before*
+        // PE1's step-2 access: stream 0 1 1 2, so column 1 is re-accessed at
+        // stack distance 0. The old one-step-idle scheduler refilled PE0 a
+        // step late, emitting 0 1 2 1 (distance 1) — silently overstating
+        // reuse distances relative to the engine's schedule.
+        let a = from_rows(3, &[&[0], &[1, 2], &[1]]);
+        let profile = b_reuse_profile_scheduled(&a, 2);
+        let expected = reuse_profile_of_stream(vec![0, 1, 1, 2], 3);
+        assert_eq!(profile, expected);
+        assert_eq!(profile.cold, 3);
+        assert_eq!(profile.histogram[0], 1); // the back-to-back 1 1
+        assert_eq!(profile.histogram[1], 0); // old scheduler put it here
+    }
+
+    #[test]
+    fn scheduled_stream_matches_engine_scheduler() {
+        // Cross-check: the analytical profile is computed from the exact
+        // stream the shared engine scheduler emits, for several PE counts.
+        let rows: Vec<Vec<usize>> = (0..20)
+            .map(|i| (0..(i % 4)).map(|j| (i * 5 + j) % 11).collect())
+            .collect();
+        let slices: Vec<&[usize]> = rows.iter().map(|r| &r[..]).collect();
+        let a = from_rows(11, &slices);
+        for pes in [1usize, 2, 3, 8] {
+            let stream = bootes_sparse::schedule::scheduled_b_row_stream(&a, pes);
+            assert_eq!(
+                b_reuse_profile_scheduled(&a, pes),
+                reuse_profile_of_stream(stream, a.ncols()),
+                "pes = {pes}"
+            );
+        }
     }
 
     #[test]

@@ -335,12 +335,44 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.ncols, "matvec input length");
         assert_eq!(y.len(), self.nrows, "matvec output length");
         for (r, yr) in y.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for idx in self.indptr[r]..self.indptr[r + 1] {
-                acc += self.values[idx] * x[self.indices[idx]];
-            }
-            *yr = acc;
+            *yr = self.row_dot(r, x);
         }
+    }
+
+    /// [`Self::matvec_into`] over an explicit number of worker threads.
+    ///
+    /// `y` is split into nnz-weighted contiguous row chunks, each written by
+    /// one thread with the identical per-row dot product — bit-identical to
+    /// the serial matvec for every thread count. Falls back to the serial
+    /// loop for matrices too small to amortize thread spawning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn par_matvec_into(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        assert_eq!(x.len(), self.ncols, "matvec input length");
+        assert_eq!(y.len(), self.nrows, "matvec output length");
+        if threads <= 1 || self.nnz() < 1 << 14 {
+            return self.matvec_into(x, y);
+        }
+        let ranges = bootes_par::partition_weighted(self.nrows, threads, |r| {
+            (self.indptr[r + 1] - self.indptr[r]) as u64
+        });
+        bootes_par::for_each_chunk_mut(threads, y, &ranges, |_, range, chunk| {
+            for (off, yr) in chunk.iter_mut().enumerate() {
+                *yr = self.row_dot(range.start + off, x);
+            }
+        });
+    }
+
+    /// Dot product of row `r` with the dense vector `x`.
+    #[inline]
+    fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for idx in self.indptr[r]..self.indptr[r + 1] {
+            acc += self.values[idx] * x[self.indices[idx]];
+        }
+        acc
     }
 
     /// Per-row sums (the degree array of a similarity matrix, Alg. 4 line 4).
@@ -461,6 +493,35 @@ mod tests {
     fn matvec_rejects_bad_length() {
         let a = sample();
         assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn par_matvec_is_bit_identical_to_serial() {
+        // Large enough to cross the parallel-path nnz threshold.
+        let n = 200usize;
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for r in 0..n {
+            for c in 0..n {
+                if (r * 31 + c * 17) % 2 == 0 {
+                    indices.push(c);
+                    values.push(((r * c) % 13) as f64 * 0.37 - 1.1);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        let a = CsrMatrix::from_parts_unchecked(n, n, indptr, indices, values);
+        assert!(a.nnz() >= 1 << 14);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut serial = vec![0.0; n];
+        a.matvec_into(&x, &mut serial);
+        for threads in [1usize, 2, 3, 7] {
+            let mut par = vec![f64::NAN; n];
+            a.par_matvec_into(&x, &mut par, threads);
+            assert_eq!(par, serial, "threads {threads}");
+        }
     }
 
     #[test]

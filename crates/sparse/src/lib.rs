@@ -39,6 +39,7 @@ pub mod error;
 pub mod io;
 pub mod ops;
 pub mod perm;
+pub mod schedule;
 pub mod stats;
 
 pub use coo::CooMatrix;

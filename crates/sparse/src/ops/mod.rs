@@ -8,5 +8,9 @@ pub mod transpose;
 
 pub use block::{block_spgemm, BlockSparseMatrix};
 pub use elementwise::{add_scaled, frobenius_norm, scale, spmm};
-pub use similarity::{similarity_matrix, similarity_matrix_csc};
-pub use spgemm::{dataflow_costs, spgemm, spgemm_flops, spgemm_hash, DataflowCost};
+pub use similarity::{
+    par_similarity_matrix, par_similarity_matrix_csc, similarity_matrix, similarity_matrix_csc,
+};
+pub use spgemm::{
+    dataflow_costs, par_spgemm, par_spgemm_hash, spgemm, spgemm_flops, spgemm_hash, DataflowCost,
+};

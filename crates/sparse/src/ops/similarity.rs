@@ -39,25 +39,74 @@ pub fn similarity_matrix(a: &CsrMatrix) -> CsrMatrix {
     similarity_matrix_csc(a, &a.to_csc())
 }
 
+/// [`similarity_matrix`] over an explicit number of worker threads (see
+/// [`par_similarity_matrix_csc`]).
+pub fn par_similarity_matrix(a: &CsrMatrix, threads: usize) -> CsrMatrix {
+    par_similarity_matrix_csc(a, &a.to_csc(), threads)
+}
+
 /// Like [`similarity_matrix`] but reuses a precomputed CSC view of `a`,
 /// avoiding a second transposition when the caller already has one.
 pub fn similarity_matrix_csc(a: &CsrMatrix, a_csc: &CscMatrix) -> CsrMatrix {
+    let threads = if a.nnz() < 1 << 13 {
+        1
+    } else {
+        bootes_par::threads()
+    };
+    par_similarity_matrix_csc(a, a_csc, threads)
+}
+
+/// [`similarity_matrix_csc`] over an explicit number of worker threads.
+///
+/// Rows of `S` are independent, so they are computed in contiguous chunks
+/// (weighted by each row's column-degree work) and stitched in chunk order —
+/// bit-identical to the serial kernel for every thread count.
+pub fn par_similarity_matrix_csc(a: &CsrMatrix, a_csc: &CscMatrix, threads: usize) -> CsrMatrix {
     debug_assert_eq!(a.shape(), a_csc.shape(), "csc view shape mismatch");
+    let n = a.nrows();
+    let ranges = bootes_par::partition_weighted(n, threads, |i| {
+        a.row(i).0.iter().map(|&k| a_csc.col_nnz(k) as u64).sum()
+    });
+    let chunks =
+        bootes_par::map_ranges(threads, &ranges, |_, rows| similarity_rows(a, a_csc, rows));
+
+    let nnz = chunks.iter().map(|c| c.1.len()).sum();
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut indices: Vec<usize> = Vec::with_capacity(nnz);
+    let mut values: Vec<f64> = Vec::with_capacity(nnz);
+    indptr.push(0);
+    for (row_lens, chunk_indices, chunk_values) in chunks {
+        for len in row_lens {
+            indptr.push(indptr.last().expect("nonempty indptr") + len);
+        }
+        indices.extend_from_slice(&chunk_indices);
+        values.extend_from_slice(&chunk_values);
+    }
+    CsrMatrix::from_parts_unchecked(n, n, indptr, indices, values)
+}
+
+/// Serial similarity kernel over one contiguous row block; returns per-row
+/// lengths plus the block's concatenated indices and values.
+#[allow(clippy::type_complexity)]
+fn similarity_rows(
+    a: &CsrMatrix,
+    a_csc: &CscMatrix,
+    rows: std::ops::Range<usize>,
+) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
     let n = a.nrows();
     let mut acc = vec![0u32; n];
     let mut touched: Vec<usize> = Vec::new();
-
-    let mut indptr = Vec::with_capacity(n + 1);
+    let mut row_lens = Vec::with_capacity(rows.len());
     let mut indices: Vec<usize> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
-    indptr.push(0);
 
-    for i in 0..n {
+    for i in rows {
+        let row_start = indices.len();
         let (cols, _) = a.row(i);
         for &k in cols {
             // Row i of S accumulates 1 for every row that also has column k.
-            let (rows, _) = a_csc.col(k);
-            for &j in rows {
+            let (srows, _) = a_csc.col(k);
+            for &j in srows {
                 if acc[j] == 0 {
                     touched.push(j);
                 }
@@ -71,9 +120,9 @@ pub fn similarity_matrix_csc(a: &CsrMatrix, a_csc: &CscMatrix) -> CsrMatrix {
             acc[j] = 0;
         }
         touched.clear();
-        indptr.push(indices.len());
+        row_lens.push(indices.len() - row_start);
     }
-    CsrMatrix::from_parts_unchecked(n, n, indptr, indices, values)
+    (row_lens, indices, values)
 }
 
 #[cfg(test)]
@@ -146,5 +195,15 @@ mod tests {
         let s = similarity_matrix(&a);
         assert_eq!(s.nnz(), 0);
         assert_eq!(s.shape(), (3, 3));
+    }
+
+    #[test]
+    fn par_matches_serial_exactly() {
+        let a = sample();
+        let serial = par_similarity_matrix(&a, 1);
+        assert_eq!(similarity_matrix(&a), serial);
+        for threads in [2usize, 3, 7, 64] {
+            assert_eq!(par_similarity_matrix(&a, threads), serial);
+        }
     }
 }

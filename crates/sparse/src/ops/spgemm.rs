@@ -9,6 +9,7 @@
 //! trade-offs of Table 1.
 
 use std::collections::HashMap;
+use std::ops::Range;
 
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
@@ -23,42 +24,69 @@ fn check_dims(a: &CsrMatrix, b: &CsrMatrix) -> Result<(), SparseError> {
     Ok(())
 }
 
-/// Row-wise (Gustavson) SpGEMM with a dense accumulator.
-///
-/// For each row `i` of `A`, accumulates `A[i,k] * B[k,:]` into a dense
-/// scratch row, then gathers the touched columns in sorted order. Entries
-/// that cancel to exactly `0.0` are dropped.
-///
-/// # Errors
-///
-/// Returns [`SparseError::DimensionMismatch`] if `a.ncols() != b.nrows()`.
-///
-/// # Example
-///
-/// ```
-/// use bootes_sparse::{CsrMatrix, ops::spgemm};
-///
-/// # fn main() -> Result<(), bootes_sparse::SparseError> {
-/// let a = CsrMatrix::identity(2);
-/// let c = spgemm(&a, &a)?;
-/// assert_eq!(c, CsrMatrix::identity(2));
-/// # Ok(())
-/// # }
-/// ```
-pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
-    check_dims(a, b)?;
-    let _span = bootes_obs::span!("spgemm.dense_acc");
+/// Output of one contiguous block of Gustavson rows: per-row lengths plus the
+/// concatenated column indices and values, stitched in chunk order by the
+/// parallel drivers.
+struct RowChunk {
+    row_lens: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+    flops: u64,
+}
+
+/// Thread count the implicit-threading wrappers use: the global
+/// [`bootes_par::threads`] policy, bypassed for matrices too small to
+/// amortize thread spawning.
+fn kernel_threads(nnz: usize) -> usize {
+    if nnz < 1 << 13 {
+        1
+    } else {
+        bootes_par::threads()
+    }
+}
+
+/// Splits `A`'s rows into `threads` contiguous chunks weighted by the
+/// row-wise flop count `Σ_{k ∈ cols(A_i)} nnz(B_k)` — the actual work of a
+/// Gustavson row — so dense rows don't serialize one worker.
+fn flop_weighted_rows(a: &CsrMatrix, b: &CsrMatrix, threads: usize) -> Vec<Range<usize>> {
+    bootes_par::partition_weighted(a.nrows(), threads, |i| {
+        a.row(i).0.iter().map(|&k| b.row_nnz(k) as u64).sum()
+    })
+}
+
+/// Assembles chunk outputs (in chunk order) into a CSR matrix, recording the
+/// same per-row `spgemm.row_nnz` histogram entries the serial loop would.
+fn stitch_chunks(nrows: usize, ncols: usize, chunks: Vec<RowChunk>) -> CsrMatrix {
+    let nnz = chunks.iter().map(|c| c.indices.len()).sum();
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    let mut indices = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    indptr.push(0);
+    let mut flops = 0u64;
+    for chunk in chunks {
+        for len in chunk.row_lens {
+            indptr.push(indptr.last().expect("nonempty indptr") + len);
+            bootes_obs::histogram_record("spgemm.row_nnz", len as u64);
+        }
+        indices.extend_from_slice(&chunk.indices);
+        values.extend_from_slice(&chunk.values);
+        flops += chunk.flops;
+    }
+    bootes_obs::counter_add("spgemm.flops", flops);
+    CsrMatrix::from_parts_unchecked(nrows, ncols, indptr, indices, values)
+}
+
+/// The dense-accumulator Gustavson kernel over one contiguous row block.
+fn spgemm_rows_dense(a: &CsrMatrix, b: &CsrMatrix, rows: Range<usize>) -> RowChunk {
     let n = b.ncols();
     let mut acc = vec![0.0f64; n];
     let mut touched: Vec<usize> = Vec::new();
-
-    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut row_lens = Vec::with_capacity(rows.len());
     let mut indices: Vec<usize> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
-    indptr.push(0);
     let mut flops = 0u64;
 
-    for i in 0..a.nrows() {
+    for i in rows {
         let row_start = indices.len();
         let (acols, avals) = a.row(i);
         for (&k, &aik) in acols.iter().zip(avals) {
@@ -86,40 +114,26 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
             acc[j] = 0.0;
         }
         touched.clear();
-        indptr.push(indices.len());
-        bootes_obs::histogram_record("spgemm.row_nnz", (indices.len() - row_start) as u64);
+        row_lens.push(indices.len() - row_start);
     }
-    bootes_obs::counter_add("spgemm.flops", flops);
-    Ok(CsrMatrix::from_parts_unchecked(
-        a.nrows(),
-        b.ncols(),
-        indptr,
+    RowChunk {
+        row_lens,
         indices,
         values,
-    ))
+        flops,
+    }
 }
 
-/// Row-wise SpGEMM with a hash-map accumulator.
-///
-/// Same result as [`spgemm`] but with per-row `O(nnz(C_i))` scratch instead
-/// of `O(ncols(B))`. Preferable when `B` is very wide and rows of `C` are
-/// short.
-///
-/// # Errors
-///
-/// Returns [`SparseError::DimensionMismatch`] if `a.ncols() != b.nrows()`.
-pub fn spgemm_hash(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
-    check_dims(a, b)?;
-    let _span = bootes_obs::span!("spgemm.hash_acc");
-    let mut indptr = Vec::with_capacity(a.nrows() + 1);
-    let mut indices: Vec<usize> = Vec::new();
-    let mut values: Vec<f64> = Vec::new();
-    indptr.push(0);
+/// The hash-accumulator Gustavson kernel over one contiguous row block.
+fn spgemm_rows_hash(a: &CsrMatrix, b: &CsrMatrix, rows: Range<usize>) -> RowChunk {
     let mut acc: HashMap<usize, f64> = HashMap::new();
     let mut rowbuf: Vec<(usize, f64)> = Vec::new();
+    let mut row_lens = Vec::with_capacity(rows.len());
+    let mut indices: Vec<usize> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
     let mut flops = 0u64;
 
-    for i in 0..a.nrows() {
+    for i in rows {
         acc.clear();
         let (acols, avals) = a.row(i);
         for (&k, &aik) in acols.iter().zip(avals) {
@@ -140,17 +154,89 @@ pub fn spgemm_hash(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseErro
             indices.push(j);
             values.push(v);
         }
-        indptr.push(indices.len());
-        bootes_obs::histogram_record("spgemm.row_nnz", rowbuf.len() as u64);
+        row_lens.push(rowbuf.len());
     }
-    bootes_obs::counter_add("spgemm.flops", flops);
-    Ok(CsrMatrix::from_parts_unchecked(
-        a.nrows(),
-        b.ncols(),
-        indptr,
+    RowChunk {
+        row_lens,
         indices,
         values,
-    ))
+        flops,
+    }
+}
+
+/// Row-wise (Gustavson) SpGEMM with a dense accumulator.
+///
+/// For each row `i` of `A`, accumulates `A[i,k] * B[k,:]` into a dense
+/// scratch row, then gathers the touched columns in sorted order. Entries
+/// that cancel to exactly `0.0` are dropped.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.ncols() != b.nrows()`.
+///
+/// # Example
+///
+/// ```
+/// use bootes_sparse::{CsrMatrix, ops::spgemm};
+///
+/// # fn main() -> Result<(), bootes_sparse::SparseError> {
+/// let a = CsrMatrix::identity(2);
+/// let c = spgemm(&a, &a)?;
+/// assert_eq!(c, CsrMatrix::identity(2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
+    par_spgemm(a, b, kernel_threads(a.nnz()))
+}
+
+/// [`spgemm`] over an explicit number of worker threads.
+///
+/// The rows of `A` are split into flop-weighted contiguous chunks, each chunk
+/// runs the identical per-row kernel, and the chunk outputs are stitched back
+/// in chunk order — so the result is **bit-identical** to the serial kernel
+/// for every thread count.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.ncols() != b.nrows()`.
+pub fn par_spgemm(a: &CsrMatrix, b: &CsrMatrix, threads: usize) -> Result<CsrMatrix, SparseError> {
+    check_dims(a, b)?;
+    let _span = bootes_obs::span!("spgemm.dense_acc");
+    let ranges = flop_weighted_rows(a, b, threads);
+    let chunks = bootes_par::map_ranges(threads, &ranges, |_, rows| spgemm_rows_dense(a, b, rows));
+    Ok(stitch_chunks(a.nrows(), b.ncols(), chunks))
+}
+
+/// Row-wise SpGEMM with a hash-map accumulator.
+///
+/// Same result as [`spgemm`] but with per-row `O(nnz(C_i))` scratch instead
+/// of `O(ncols(B))`. Preferable when `B` is very wide and rows of `C` are
+/// short.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.ncols() != b.nrows()`.
+pub fn spgemm_hash(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
+    par_spgemm_hash(a, b, kernel_threads(a.nnz()))
+}
+
+/// [`spgemm_hash`] over an explicit number of worker threads (chunked and
+/// stitched exactly like [`par_spgemm`]; bit-identical to serial).
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.ncols() != b.nrows()`.
+pub fn par_spgemm_hash(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    threads: usize,
+) -> Result<CsrMatrix, SparseError> {
+    check_dims(a, b)?;
+    let _span = bootes_obs::span!("spgemm.hash_acc");
+    let ranges = flop_weighted_rows(a, b, threads);
+    let chunks = bootes_par::map_ranges(threads, &ranges, |_, rows| spgemm_rows_hash(a, b, rows));
+    Ok(stitch_chunks(a.nrows(), b.ncols(), chunks))
 }
 
 /// Number of scalar multiply-accumulate operations a row-wise SpGEMM
@@ -303,6 +389,32 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn par_variants_match_serial_exactly() {
+        for seed in 0..4 {
+            let a = random_like(33, 29, seed);
+            let b = random_like(29, 41, seed + 50);
+            let serial = par_spgemm(&a, &b, 1).unwrap();
+            let serial_hash = par_spgemm_hash(&a, &b, 1).unwrap();
+            for threads in [2usize, 3, 7] {
+                assert_eq!(par_spgemm(&a, &b, threads).unwrap(), serial);
+                assert_eq!(par_spgemm_hash(&a, &b, threads).unwrap(), serial_hash);
+            }
+            assert_eq!(spgemm(&a, &b).unwrap(), serial);
+            assert_eq!(spgemm_hash(&a, &b).unwrap(), serial_hash);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let a = random_like(3, 5, 1);
+        let b = random_like(5, 4, 2);
+        assert_eq!(
+            par_spgemm(&a, &b, 64).unwrap(),
+            par_spgemm(&a, &b, 1).unwrap()
+        );
     }
 
     #[test]

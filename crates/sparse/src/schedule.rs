@@ -1,0 +1,184 @@
+//! The row-wise multi-PE schedule shared by the accelerator engine and the
+//! scheduled reuse-distance analysis.
+//!
+//! A row-wise SpGEMM accelerator hands rows of `A` to processing elements in
+//! order: **idle PEs take the next row, and each simulation step advances
+//! every busy PE by one nonzero of its current row**. Crucially, a PE that
+//! drains its row mid-sweep is idle *within that same step* and immediately
+//! picks up the next unassigned row (emitting that row's first access in the
+//! step where the PE would otherwise stall). An earlier version of the
+//! analysis let such a PE idle for one step, so its emitted `B`-row stream
+//! diverged from the engine's schedule; both now consume this one generator.
+
+use crate::csr::CsrMatrix;
+
+/// One event of the row-wise PE schedule, in emission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeEvent {
+    /// PE `pe` picked up row `row` of `A` (row-dispatch overhead).
+    Dispatch {
+        /// Processing element index, in `0..num_pes`.
+        pe: usize,
+        /// The `A` row assigned to the PE.
+        row: usize,
+    },
+    /// PE `pe`, working on `A` row `row`, consumed nonzero `A[row, col]` —
+    /// i.e. fetched row `col` of `B`.
+    Access {
+        /// Processing element index, in `0..num_pes`.
+        pe: usize,
+        /// The `A` row the PE is working on.
+        row: usize,
+        /// Column of the consumed nonzero = the fetched `B` row.
+        col: usize,
+    },
+}
+
+/// Drives the row-wise PE schedule for left operand `a` over `num_pes`
+/// processing elements, invoking `f` for every event in order.
+///
+/// Within a step PEs are visited in index order; an idle PE (fresh, or one
+/// that just drained its row) is refilled — possibly several times over for
+/// empty rows — before the step moves on to the next PE.
+pub fn for_each_scheduled_event(a: &CsrMatrix, num_pes: usize, mut f: impl FnMut(PeEvent)) {
+    let num_pes = num_pes.max(1);
+    let nrows = a.nrows();
+    // (row, position within the row's nonzeros) per PE.
+    let mut active: Vec<Option<(usize, usize)>> = vec![None; num_pes];
+    let mut next_row = 0usize;
+    let mut remaining = nrows;
+    while remaining > 0 {
+        for (pe, slot) in active.iter_mut().enumerate() {
+            loop {
+                match *slot {
+                    None => {
+                        if next_row >= nrows {
+                            break;
+                        }
+                        *slot = Some((next_row, 0));
+                        f(PeEvent::Dispatch { pe, row: next_row });
+                        next_row += 1;
+                    }
+                    Some((row, pos)) => {
+                        let (cols, _) = a.row(row);
+                        if pos >= cols.len() {
+                            // Row drained: the PE is idle in this very step
+                            // and takes the next row immediately.
+                            *slot = None;
+                            remaining -= 1;
+                            continue;
+                        }
+                        f(PeEvent::Access {
+                            pe,
+                            row,
+                            col: cols[pos],
+                        });
+                        *slot = Some((row, pos + 1));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The `B`-row access stream the schedule generates: the `col` of every
+/// [`PeEvent::Access`], in emission order.
+pub fn scheduled_b_row_stream(a: &CsrMatrix, num_pes: usize) -> Vec<usize> {
+    let mut stream = Vec::with_capacity(a.nnz());
+    for_each_scheduled_event(a, num_pes, |ev| {
+        if let PeEvent::Access { col, .. } = ev {
+            stream.push(col);
+        }
+    });
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn from_rows(ncols: usize, rows: &[&[usize]]) -> CsrMatrix {
+        let mut coo = CooMatrix::new(rows.len(), ncols);
+        for (r, cols) in rows.iter().enumerate() {
+            for &c in *cols {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn one_pe_streams_sequentially() {
+        let a = from_rows(5, &[&[0, 3], &[], &[1, 2, 4]]);
+        assert_eq!(scheduled_b_row_stream(&a, 1), vec![0, 3, 1, 2, 4]);
+    }
+
+    #[test]
+    fn finished_pe_takes_next_row_in_same_step() {
+        // r0 = [0] (1 nnz), r1 = [1, 2] (2 nnz), r2 = [3].
+        // Step 1: PE0 dispatches r0 and emits 0; PE1 dispatches r1, emits 1.
+        // Step 2: PE0 drained r0 *last* step — it is idle now, so it takes
+        // r2 and emits 3 in this same step; PE1 emits 2.
+        let a = from_rows(4, &[&[0], &[1, 2], &[3]]);
+        assert_eq!(scheduled_b_row_stream(&a, 2), vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn empty_rows_are_skipped_within_a_step() {
+        // PE0 chains through two empty rows before finding a real one.
+        let a = from_rows(3, &[&[], &[], &[0], &[1, 2]]);
+        let mut events = Vec::new();
+        for_each_scheduled_event(&a, 1, |ev| events.push(ev));
+        assert_eq!(
+            events,
+            vec![
+                PeEvent::Dispatch { pe: 0, row: 0 },
+                PeEvent::Dispatch { pe: 0, row: 1 },
+                PeEvent::Dispatch { pe: 0, row: 2 },
+                PeEvent::Access {
+                    pe: 0,
+                    row: 2,
+                    col: 0
+                },
+                PeEvent::Dispatch { pe: 0, row: 3 },
+                PeEvent::Access {
+                    pe: 0,
+                    row: 3,
+                    col: 1
+                },
+                PeEvent::Access {
+                    pe: 0,
+                    row: 3,
+                    col: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn lockstep_pes_interleave_columns() {
+        // 3 identical rows on 3 PEs: each step emits one column from every
+        // PE, so accesses to the same B row bunch together.
+        let a = from_rows(2, &[&[0, 1], &[0, 1], &[0, 1]]);
+        assert_eq!(scheduled_b_row_stream(&a, 3), vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn stream_is_a_permutation_of_nonzeros() {
+        let a = from_rows(6, &[&[0, 5], &[], &[2], &[1, 3, 4], &[0]]);
+        for pes in [1usize, 2, 3, 8] {
+            let mut stream = scheduled_b_row_stream(&a, pes);
+            assert_eq!(stream.len(), a.nnz());
+            stream.sort_unstable();
+            assert_eq!(stream, vec![0, 0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_emits_nothing() {
+        assert!(scheduled_b_row_stream(&CsrMatrix::zeros(0, 0), 4).is_empty());
+        assert!(scheduled_b_row_stream(&CsrMatrix::zeros(5, 5), 4).is_empty());
+    }
+}

@@ -15,8 +15,11 @@
 //! - `analyze <in.mtx> [--pes N]` — stack-distance reuse analysis of the
 //!   B-row access stream with predicted hit rates per cache size.
 //!
-//! Every subcommand also accepts the global profiling flags:
+//! Every subcommand also accepts the global flags:
 //!
+//! - `--threads N` — worker threads for the parallel kernels (default: all
+//!   cores; `BOOTES_THREADS=N` in the environment works too). Results are
+//!   bit-identical for any thread count,
 //! - `--profile` — enable span/metric collection and print a profile table to
 //!   stderr on exit (equivalently, set `BOOTES_PROFILE=1`),
 //! - `--profile-out FILE.json` — also write the profile as JSON,
@@ -80,6 +83,9 @@ usage:
   bootes decide   <in.mtx> --model model.json
   bootes analyze  <in.mtx> [--pes N]
 global flags (any subcommand):
+  --threads N             worker threads for the parallel kernels (default:
+                          all cores; BOOTES_THREADS=N also works; output is
+                          bit-identical for any value)
   --profile               collect spans/metrics, print profile table to stderr
   --profile-out FILE.json write the profile as JSON
   --trace-out FILE.json   write a Chrome trace-event file
@@ -104,6 +110,19 @@ impl ProfileOpts {
                 "--profile" => {
                     enabled = true;
                     args.remove(i);
+                }
+                "--threads" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("--threads needs a count argument".to_string());
+                    }
+                    let value = args.remove(i);
+                    let n: usize = value
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("bad --threads value {value:?}"))?;
+                    bootes::par::set_threads(n);
                 }
                 "--profile-out" | "--trace-out" => {
                     let flag = args.remove(i);
@@ -377,19 +396,31 @@ fn measure_label(a: &CsrMatrix, accel: &AcceleratorConfig) -> Result<Label, Stri
     let base = simulate_spgemm(a, &b, accel)
         .map_err(|e| e.to_string())?
         .total_bytes();
+    // Candidate-k sweeps are independent; fan them out (folding in k order
+    // keeps the label identical for any thread count).
+    let sweeps = bootes::par::map_indices(
+        bootes::par::threads().min(CANDIDATE_KS.len()),
+        CANDIDATE_KS.len(),
+        |i| -> Result<Option<(usize, u64)>, String> {
+            let k = CANDIDATE_KS[i];
+            if k + 1 >= a.nrows() {
+                return Ok(None);
+            }
+            let algo = SpectralReorderer::new(BootesConfig::default().with_k(k));
+            let out = algo.reorder(a).map_err(|e| e.to_string())?;
+            let permuted = out.permutation.apply_rows(a).map_err(|e| e.to_string())?;
+            let t = simulate_spgemm(&permuted, &b, accel)
+                .map_err(|e| e.to_string())?
+                .total_bytes();
+            Ok(Some((k, t)))
+        },
+    );
     let mut best: Option<(usize, u64)> = None;
-    for &k in &CANDIDATE_KS {
-        if k + 1 >= a.nrows() {
-            continue;
-        }
-        let algo = SpectralReorderer::new(BootesConfig::default().with_k(k));
-        let out = algo.reorder(a).map_err(|e| e.to_string())?;
-        let permuted = out.permutation.apply_rows(a).map_err(|e| e.to_string())?;
-        let t = simulate_spgemm(&permuted, &b, accel)
-            .map_err(|e| e.to_string())?
-            .total_bytes();
-        if best.is_none_or(|(_, bt)| t < bt) {
-            best = Some((k, t));
+    for sweep in sweeps {
+        if let Some((k, t)) = sweep? {
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((k, t));
+            }
         }
     }
     Ok(match best {

@@ -19,6 +19,8 @@
 //! - [`workloads`]: synthetic matrix generators and the evaluation suite.
 //! - [`obs`]: spans, metrics and profile export behind `--profile` /
 //!   `BOOTES_PROFILE=1` (see the module docs for the full metric catalog).
+//! - [`par`]: deterministic scoped-thread parallelism behind `--threads` /
+//!   `BOOTES_THREADS` (ordered-merge combinators; serial-identical output).
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@ pub use bootes_core as core;
 pub use bootes_linalg as linalg;
 pub use bootes_model as model;
 pub use bootes_obs as obs;
+pub use bootes_par as par;
 pub use bootes_reorder as reorder;
 pub use bootes_sparse as sparse;
 pub use bootes_workloads as workloads;
