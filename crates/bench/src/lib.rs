@@ -227,7 +227,9 @@ pub fn build_dataset(accel: &AcceleratorConfig, count: usize, seed: u64) -> Data
                         .map(|m| {
                             (
                                 MatrixFeatures::extract(m).to_vec(),
-                                measure_label(m, accel).to_class(),
+                                measure_label(m, accel)
+                                    .to_class()
+                                    .expect("measured label uses candidate k"),
                             )
                         })
                         .collect::<Vec<_>>()

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Bootes: spectral-clustering row reordering with a cost-aware decision
 //! model — the paper's primary contribution.
 //!
@@ -40,6 +41,6 @@ pub mod spectral;
 
 pub use config::BootesConfig;
 pub use features::{MatrixFeatures, FEATURE_NAMES};
-pub use pipeline::{BootesPipeline, Decision, Label, CANDIDATE_KS};
+pub use pipeline::{BootesPipeline, Decision, FallbackReorderer, Label, CANDIDATE_KS};
 pub use recursive::RecursiveSpectralReorderer;
 pub use spectral::SpectralReorderer;

@@ -6,13 +6,20 @@
 //! (see the `fig3` benchmark binary) on labels measured on the target
 //! accelerator.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use bootes_guard::GuardError;
 use bootes_model::{DecisionTree, ModelError};
-use bootes_reorder::{MemTracker, ReorderError, ReorderStats, Reorderer, StatsScope};
+use bootes_reorder::{
+    HierReorderer, MemTracker, OriginalOrder, ReorderError, ReorderOutcome, ReorderStats,
+    Reorderer, StatsScope,
+};
 use bootes_sparse::{CsrMatrix, Permutation};
 use serde::{Deserialize, Serialize};
 
 use crate::config::BootesConfig;
 use crate::features::MatrixFeatures;
+use crate::recursive::RecursiveSpectralReorderer;
 use crate::spectral::SpectralReorderer;
 
 /// The candidate cluster counts of the paper (§3.1.2).
@@ -35,28 +42,46 @@ impl Label {
     pub const N_CLASSES: usize = 1 + CANDIDATE_KS.len();
 
     /// Class index used by the decision tree.
-    pub fn to_class(self) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidLabel`] if the label carries a cluster
+    /// count outside [`CANDIDATE_KS`] — the signature of a corrupt label
+    /// file or a mismatched training run.
+    pub fn to_class(self) -> Result<usize, ModelError> {
         match self {
-            Label::NoReorder => 0,
-            Label::Reorder(k) => {
-                1 + CANDIDATE_KS
-                    .iter()
-                    .position(|&c| c == k)
-                    .expect("k must be one of the candidate values")
-            }
+            Label::NoReorder => Ok(0),
+            Label::Reorder(k) => CANDIDATE_KS
+                .iter()
+                .position(|&c| c == k)
+                .map(|p| 1 + p)
+                .ok_or_else(|| {
+                    ModelError::InvalidLabel(format!(
+                        "cluster count {k} is not one of the candidate values {CANDIDATE_KS:?}"
+                    ))
+                }),
         }
     }
 
     /// Inverse of [`Label::to_class`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `class >= Label::N_CLASSES`.
-    pub fn from_class(class: usize) -> Self {
+    /// Returns [`ModelError::InvalidLabel`] if `class >= Label::N_CLASSES`,
+    /// which indicates a model trained with a different class universe.
+    pub fn from_class(class: usize) -> Result<Self, ModelError> {
         if class == 0 {
-            Label::NoReorder
+            Ok(Label::NoReorder)
         } else {
-            Label::Reorder(CANDIDATE_KS[class - 1])
+            CANDIDATE_KS
+                .get(class - 1)
+                .map(|&k| Label::Reorder(k))
+                .ok_or_else(|| {
+                    ModelError::InvalidLabel(format!(
+                        "class index {class} out of range (N_CLASSES = {})",
+                        Label::N_CLASSES
+                    ))
+                })
         }
     }
 }
@@ -126,12 +151,113 @@ pub struct PipelineOutcome {
     pub stats: ReorderStats,
 }
 
+/// Graceful-degradation chain around the spectral reorderer.
+///
+/// Production preprocessing must never turn a reorderable matrix into a
+/// crashed run: a permutation that is merely *worse* still executes, while a
+/// panic or an exhausted budget would abort the whole SpGEMM job. The chain
+/// tries each rung in order of decreasing quality and decreasing cost:
+///
+/// 1. [`SpectralReorderer`] — the paper's Algorithm 4 (name `"bootes"`),
+/// 2. [`RecursiveSpectralReorderer`] — Fiedler bisection, no `k` needed,
+/// 3. [`HierReorderer`] — LSH + agglomerative clustering, no eigensolve,
+/// 4. [`OriginalOrder`] — the identity permutation, which cannot fail.
+///
+/// Every rung runs under `catch_unwind`, so a panic escaping a rung (e.g.
+/// from a worker thread without an error channel) degrades instead of
+/// propagating. A typed failure ([`ReorderError`], including guard budget
+/// exhaustion and injected faults) likewise steps down one rung. The first
+/// failed rung is recorded in [`ReorderStats::degraded_from`], the full
+/// failure trail in [`ReorderStats::degrade_reason`], and each step-down
+/// increments the `guard.fallback` counter (plus a per-rung
+/// `guard.fallback.from.<rung>` counter) in the observability registry.
+///
+/// When the first rung succeeds its outcome is returned untouched, so a
+/// healthy run is bit-identical to using [`SpectralReorderer`] directly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FallbackReorderer {
+    config: BootesConfig,
+}
+
+impl FallbackReorderer {
+    /// Creates a chain whose first rung is `SpectralReorderer::new(config)`.
+    pub fn new(config: BootesConfig) -> Self {
+        FallbackReorderer { config }
+    }
+
+    /// The configuration handed to the first (spectral) rung.
+    pub fn config(&self) -> &BootesConfig {
+        &self.config
+    }
+
+    /// Runs one rung, converting an escaped panic into a typed
+    /// [`ReorderError::Guard`] so the chain can keep stepping down.
+    fn run_rung(rung: &dyn Reorderer, a: &CsrMatrix) -> Result<ReorderOutcome, ReorderError> {
+        match catch_unwind(AssertUnwindSafe(|| rung.reorder(a))) {
+            Ok(result) => result,
+            Err(payload) => Err(ReorderError::Guard(GuardError::Panic {
+                site: rung.name().to_string(),
+                message: bootes_guard::panic_message(payload.as_ref()),
+            })),
+        }
+    }
+}
+
+impl Reorderer for FallbackReorderer {
+    // Same public name as the spectral rung: callers selecting "bootes" get
+    // the guarded chain transparently.
+    fn name(&self) -> &'static str {
+        "bootes"
+    }
+
+    fn reorder(&self, a: &CsrMatrix) -> Result<ReorderOutcome, ReorderError> {
+        let _span = bootes_obs::span!("reorder.fallback");
+        let rungs: [Box<dyn Reorderer>; 4] = [
+            Box::new(SpectralReorderer::new(self.config.clone())),
+            Box::new(RecursiveSpectralReorderer::default()),
+            Box::new(HierReorderer::default()),
+            Box::new(OriginalOrder),
+        ];
+        let mut degraded_from: Option<String> = None;
+        let mut reasons: Vec<String> = Vec::new();
+        let mut last_err: Option<ReorderError> = None;
+        for rung in &rungs {
+            match Self::run_rung(rung.as_ref(), a) {
+                Ok(mut out) => {
+                    if let Some(from) = degraded_from {
+                        let reason = reasons.join("; ");
+                        eprintln!(
+                            "warning: reorderer degraded from '{from}' to '{}': {reason}",
+                            out.stats.algorithm
+                        );
+                        out.stats.degraded_from = Some(from);
+                        out.stats.degrade_reason = Some(reason);
+                    }
+                    return Ok(out);
+                }
+                Err(e) => {
+                    bootes_obs::counter_add("guard.fallback", 1);
+                    bootes_obs::counter_add(&format!("guard.fallback.from.{}", rung.name()), 1);
+                    degraded_from.get_or_insert_with(|| rung.name().to_string());
+                    reasons.push(format!("{}: {e}", rung.name()));
+                    last_err = Some(e);
+                }
+            }
+        }
+        // Unreachable in practice: OriginalOrder has no failure path. Kept
+        // typed rather than panicking so the chain itself never aborts.
+        Err(last_err
+            .unwrap_or_else(|| ReorderError::Numerical("fallback chain had no rungs".to_string())))
+    }
+}
+
 /// The complete Bootes preprocessing pipeline: features → decision tree →
 /// (optional) spectral reordering.
 #[derive(Debug, Clone)]
 pub struct BootesPipeline {
     model: DecisionTree,
     config: BootesConfig,
+    fallback: bool,
 }
 
 impl BootesPipeline {
@@ -157,7 +283,21 @@ impl BootesPipeline {
                 Label::N_CLASSES
             )));
         }
-        Ok(BootesPipeline { model, config })
+        Ok(BootesPipeline {
+            model,
+            config,
+            fallback: true,
+        })
+    }
+
+    /// Enables or disables the graceful-degradation chain (default: enabled).
+    ///
+    /// With fallback disabled, [`BootesPipeline::preprocess`] uses the plain
+    /// [`SpectralReorderer`] and surfaces its errors instead of stepping down
+    /// to a cheaper algorithm.
+    pub fn with_fallback(mut self, enabled: bool) -> Self {
+        self.fallback = enabled;
+        self
     }
 
     /// The wrapped model.
@@ -175,7 +315,7 @@ impl BootesPipeline {
         let features = MatrixFeatures::extract(a).to_vec();
         let class = self.model.predict(&features)?;
         Ok(Decision {
-            label: Label::from_class(class),
+            label: Label::from_class(class)?,
         })
     }
 
@@ -201,13 +341,22 @@ impl BootesPipeline {
                 })
             }
             Label::Reorder(k) => {
-                let reorderer = SpectralReorderer::new(self.config.clone().with_k(k));
-                let out = reorderer.reorder(a)?;
+                let cfg = self.config.clone().with_k(k);
+                let out = if self.fallback {
+                    FallbackReorderer::new(cfg).reorder(a)?
+                } else {
+                    SpectralReorderer::new(cfg).reorder(a)?
+                };
                 mem.alloc(out.stats.peak_bytes);
+                let mut stats = scope.stats(&mem);
+                // Surface the chain's degradation record on the pipeline's
+                // own stats so callers see it without unwrapping the outcome.
+                stats.degraded_from = out.stats.degraded_from;
+                stats.degrade_reason = out.stats.degrade_reason;
                 Ok(PipelineOutcome {
                     decision,
                     permutation: out.permutation,
-                    stats: scope.stats(&mem),
+                    stats,
                 })
             }
         }
@@ -240,16 +389,38 @@ mod tests {
     #[test]
     fn label_class_roundtrip() {
         for class in 0..Label::N_CLASSES {
-            assert_eq!(Label::from_class(class).to_class(), class);
+            assert_eq!(Label::from_class(class).unwrap().to_class().unwrap(), class);
         }
-        assert_eq!(Label::Reorder(8).to_class(), 3);
-        assert_eq!(Label::from_class(0), Label::NoReorder);
+        assert_eq!(Label::Reorder(8).to_class().unwrap(), 3);
+        assert_eq!(Label::from_class(0).unwrap(), Label::NoReorder);
     }
 
     #[test]
-    #[should_panic]
-    fn from_class_out_of_range_panics() {
-        let _ = Label::from_class(Label::N_CLASSES);
+    fn out_of_range_class_and_k_are_typed_errors() {
+        assert!(matches!(
+            Label::from_class(Label::N_CLASSES),
+            Err(ModelError::InvalidLabel(_))
+        ));
+        assert!(matches!(
+            Label::Reorder(7).to_class(),
+            Err(ModelError::InvalidLabel(_))
+        ));
+    }
+
+    #[test]
+    fn fallback_chain_matches_spectral_when_healthy() {
+        let a = bootes_workloads::gen::clustered(
+            &bootes_workloads::gen::GenConfig::new(96, 96).seed(4),
+            4,
+            0.95,
+        )
+        .unwrap();
+        let cfg = BootesConfig::default().with_k(4);
+        let chain = FallbackReorderer::new(cfg.clone()).reorder(&a).unwrap();
+        let plain = SpectralReorderer::new(cfg).reorder(&a).unwrap();
+        assert_eq!(chain.permutation, plain.permutation);
+        assert_eq!(chain.stats.algorithm, "bootes");
+        assert!(!chain.stats.is_degraded());
     }
 
     #[test]

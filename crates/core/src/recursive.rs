@@ -16,6 +16,8 @@ use bootes_linalg::laplacian::ImplicitNormalizedLaplacian;
 use bootes_reorder::{MemTracker, ReorderError, ReorderOutcome, Reorderer, StatsScope};
 use bootes_sparse::{CsrMatrix, Permutation};
 
+use crate::spectral::numerical;
+
 /// Configuration for [`RecursiveSpectralReorderer`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecursiveConfig {
@@ -84,6 +86,7 @@ impl RecursiveSpectralReorderer {
         out: &mut Vec<usize>,
         mem: &mut MemTracker,
     ) -> Result<(), ReorderError> {
+        bootes_guard::checkpoint("recursive.bisect")?;
         let leaf = self.config.leaf_size.max(2);
         if rows.len() <= leaf || depth >= self.config.max_depth {
             out.extend_from_slice(&rows);
@@ -115,15 +118,17 @@ impl RecursiveSpectralReorderer {
             converge_k: 2,
             ..LanczosConfig::default()
         };
-        let eig = lanczos_smallest(&op, 2.min(rows.len()), &lcfg)
-            .map_err(|e| ReorderError::Numerical(e.to_string()))?;
+        let eig = lanczos_smallest(&op, 2.min(rows.len()), &lcfg).map_err(numerical)?;
         mem.free(op.heap_bytes());
         mem.free(sub.heap_bytes());
-        let fiedler = eig
-            .eigenvectors
-            .last()
-            .expect("at least one eigenvector")
-            .clone();
+        let fiedler = match eig.eigenvectors.last() {
+            Some(v) => v.clone(),
+            None => {
+                return Err(ReorderError::Numerical(
+                    "eigensolver returned no eigenvectors for bisection".to_string(),
+                ))
+            }
+        };
 
         // Order the subset by Fiedler coordinate and split at the median,
         // which guarantees both halves are non-empty and strictly smaller.
@@ -131,7 +136,7 @@ impl RecursiveSpectralReorderer {
         order.sort_by(|&x, &y| {
             fiedler[x]
                 .partial_cmp(&fiedler[y])
-                .expect("finite fiedler values")
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then(rows[x].cmp(&rows[y]))
         });
         let mid = rows.len() / 2;

@@ -3,6 +3,7 @@
 use bootes_linalg::kmeans::{kmeans, KMeansConfig};
 use bootes_linalg::lanczos::{lanczos_smallest, Eigenpairs, LanczosConfig};
 use bootes_linalg::laplacian::{normalized_laplacian, ImplicitNormalizedLaplacian};
+use bootes_linalg::LinalgError;
 use bootes_reorder::{MemTracker, ReorderError, ReorderOutcome, Reorderer, StatsScope};
 use bootes_sparse::ops::similarity_matrix;
 use bootes_sparse::{CsrMatrix, DenseMatrix, Permutation};
@@ -36,6 +37,16 @@ pub struct SpectralReorderer {
     config: BootesConfig,
 }
 
+/// Maps a linear-algebra failure into the reorder error space, keeping guard
+/// failures (budget exhaustion, injected faults) typed rather than collapsing
+/// them into an opaque numerical-error string.
+pub(crate) fn numerical(e: LinalgError) -> ReorderError {
+    match e {
+        LinalgError::Guard(g) => ReorderError::Guard(g),
+        other => ReorderError::Numerical(other.to_string()),
+    }
+}
+
 impl SpectralReorderer {
     /// Creates a reorderer with the given configuration.
     pub fn new(config: BootesConfig) -> Self {
@@ -57,7 +68,9 @@ impl SpectralReorderer {
     /// # Errors
     ///
     /// Returns [`ReorderError::Numerical`] if the eigensolver or k-means
-    /// fails, and [`ReorderError::InvalidConfig`] if `k < 2`.
+    /// fails, [`ReorderError::InvalidConfig`] if `k < 2`, and
+    /// [`ReorderError::Guard`] if the armed resource budget runs out or a
+    /// failpoint fires.
     pub fn cluster(&self, a: &CsrMatrix) -> Result<(Vec<usize>, DenseMatrix), ReorderError> {
         self.cluster_tracked(a, &mut MemTracker::new())
     }
@@ -67,6 +80,7 @@ impl SpectralReorderer {
         a: &CsrMatrix,
         mem: &mut MemTracker,
     ) -> Result<(Vec<usize>, DenseMatrix), ReorderError> {
+        bootes_guard::checkpoint("spectral.cluster")?;
         let n = a.nrows();
         let k = self.config.k;
         if k < 2 {
@@ -110,16 +124,15 @@ impl SpectralReorderer {
             mem.alloc(similarity.heap_bytes());
             let laplacian = {
                 let _span = bootes_obs::span!("spectral.laplacian");
-                normalized_laplacian(&similarity)
-                    .map_err(|e| ReorderError::Numerical(e.to_string()))?
+                normalized_laplacian(&similarity).map_err(numerical)?
             };
             mem.alloc(laplacian.heap_bytes());
             mem.free(similarity.heap_bytes());
             drop(similarity);
+            bootes_guard::check_bytes("spectral", mem.current_bytes() as u64)?;
             let eig = {
                 let _span = bootes_obs::span!("spectral.lanczos");
-                lanczos_smallest(&laplacian, k_embed, &lcfg)
-                    .map_err(|e| ReorderError::Numerical(e.to_string()))?
+                lanczos_smallest(&laplacian, k_embed, &lcfg).map_err(numerical)?
             };
             mem.free(laplacian.heap_bytes());
             eig
@@ -131,10 +144,10 @@ impl SpectralReorderer {
                 ImplicitNormalizedLaplacian::new(a)
             };
             mem.alloc(op.heap_bytes());
+            bootes_guard::check_bytes("spectral", mem.current_bytes() as u64)?;
             let eig = {
                 let _span = bootes_obs::span!("spectral.lanczos");
-                lanczos_smallest(&op, k_embed, &lcfg)
-                    .map_err(|e| ReorderError::Numerical(e.to_string()))?
+                lanczos_smallest(&op, k_embed, &lcfg).map_err(numerical)?
             };
             mem.free(op.heap_bytes());
             eig
@@ -144,6 +157,7 @@ impl SpectralReorderer {
         mem.alloc(n * m_basis * std::mem::size_of::<f64>());
         mem.free(n * m_basis * std::mem::size_of::<f64>());
         mem.alloc(n * k_embed * std::mem::size_of::<f64>());
+        bootes_guard::check_bytes("spectral", mem.current_bytes() as u64)?;
 
         // Assemble the n x k_embed spectral embedding.
         let mut embedding = DenseMatrix::zeros(n, k_embed);
@@ -162,7 +176,7 @@ impl SpectralReorderer {
         };
         let km = {
             let _span = bootes_obs::span!("spectral.kmeans");
-            kmeans(&embedding, k, &kcfg).map_err(|e| ReorderError::Numerical(e.to_string()))?
+            kmeans(&embedding, k, &kcfg).map_err(numerical)?
         };
         Ok((km.labels, embedding))
     }
@@ -209,7 +223,7 @@ impl Reorderer for SpectralReorderer {
                 let ma = cluster_mean(ca, &embedding, fiedler_col);
                 let mb = cluster_mean(cb, &embedding, fiedler_col);
                 ma.partial_cmp(&mb)
-                    .expect("finite means")
+                    .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| ca.first().cmp(&cb.first()))
             });
         }
@@ -250,10 +264,10 @@ fn chain_by_embedding(members: &mut [usize], embedding: &DenseMatrix, fiedler_co
         .min_by(|&x, &y| {
             embedding[(members[x], fiedler_col)]
                 .partial_cmp(&embedding[(members[y], fiedler_col)])
-                .expect("finite embedding")
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then(members[x].cmp(&members[y]))
         })
-        .expect("nonempty cluster");
+        .unwrap_or(0);
     members.swap(0, start);
     for pos in 1..m - 1 {
         let cur = members[pos - 1];

@@ -1,0 +1,259 @@
+//! Deterministic fault injection.
+//!
+//! A failpoint is a named site (`"lanczos.restart"`, `"par.worker"`, …) that
+//! the instrumented code hits via [`fail_point`] (usually indirectly through
+//! [`crate::checkpoint`]). Armed failpoints come from the
+//! `BOOTES_FAILPOINTS` environment variable or programmatically via
+//! [`set_failpoints`]; the spec grammar is
+//!
+//! ```text
+//! spec     := entry (',' entry)*
+//! entry    := site '=' action ('@' N)?
+//! action   := 'err' | 'panic'
+//! ```
+//!
+//! `site=err@3` injects [`GuardError::Injected`] on exactly the 3rd hit of
+//! `site` (1-based) and never again; `site=err` fires on *every* hit.
+//! `panic` actions panic instead, exercising the `catch_unwind` isolation
+//! boundaries. Hit counters are per-site and deterministic, so a given spec
+//! always fails the same logical operation.
+//!
+//! When nothing is armed, [`fail_point`] is a single relaxed atomic load
+//! after a one-time env lookup.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::error::GuardError;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailAction {
+    Err,
+    Panic,
+}
+
+#[derive(Debug)]
+struct Failpoint {
+    site: String,
+    action: FailAction,
+    /// `Some(n)`: fire exactly on the nth hit (1-based). `None`: every hit.
+    at: Option<u64>,
+    hits: AtomicU64,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static TABLE: OnceLock<Mutex<Vec<Failpoint>>> = OnceLock::new();
+static ENV_INIT: OnceLock<()> = OnceLock::new();
+
+fn table() -> &'static Mutex<Vec<Failpoint>> {
+    TABLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock_table() -> std::sync::MutexGuard<'static, Vec<Failpoint>> {
+    match table().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn install(points: Vec<Failpoint>) {
+    let active = !points.is_empty();
+    *lock_table() = points;
+    ACTIVE.store(active, Ordering::Release);
+}
+
+fn parse_spec(spec: &str) -> Result<Vec<Failpoint>, String> {
+    let mut points = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (site, rhs) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint entry `{entry}` is missing `=action`"))?;
+        let (action_str, at) = match rhs.split_once('@') {
+            Some((a, n)) => {
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("failpoint entry `{entry}`: `@{n}` is not a number"))?;
+                if n == 0 {
+                    return Err(format!("failpoint entry `{entry}`: hit index is 1-based"));
+                }
+                (a, Some(n))
+            }
+            None => (rhs, None),
+        };
+        let action = match action_str.trim() {
+            "err" => FailAction::Err,
+            "panic" => FailAction::Panic,
+            other => {
+                return Err(format!(
+                    "failpoint entry `{entry}`: unknown action `{other}` (expected err|panic)"
+                ))
+            }
+        };
+        points.push(Failpoint {
+            site: site.trim().to_string(),
+            action,
+            at,
+            hits: AtomicU64::new(0),
+        });
+    }
+    Ok(points)
+}
+
+fn ensure_env_init() {
+    ENV_INIT.get_or_init(|| {
+        if let Ok(spec) = std::env::var("BOOTES_FAILPOINTS") {
+            match parse_spec(&spec) {
+                Ok(points) => install(points),
+                Err(msg) => eprintln!("bootes-guard: ignoring BOOTES_FAILPOINTS: {msg}"),
+            }
+        }
+    });
+}
+
+/// Arms failpoints from `spec`, replacing any previously armed set
+/// (including one loaded from `BOOTES_FAILPOINTS`). Hit counters start at
+/// zero. Returns a parse error message on malformed specs.
+pub fn set_failpoints(spec: &str) -> Result<(), String> {
+    let points = parse_spec(spec)?;
+    let _ = ENV_INIT.set(()); // programmatic config overrides the env
+    install(points);
+    Ok(())
+}
+
+/// Disarms every failpoint and suppresses any future `BOOTES_FAILPOINTS`
+/// re-initialization in this process.
+pub fn clear_failpoints() {
+    let _ = ENV_INIT.set(());
+    install(Vec::new());
+}
+
+/// Hits the failpoint named `site`. Returns [`GuardError::Injected`] (or
+/// panics, for `panic` actions) when an armed entry's trigger condition is
+/// met; otherwise returns `Ok(())`.
+pub fn fail_point(site: &str) -> Result<(), GuardError> {
+    ensure_env_init();
+    if !ACTIVE.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    let fired = {
+        let tbl = lock_table();
+        let mut fired = None;
+        for fp in tbl.iter() {
+            if fp.site != site {
+                continue;
+            }
+            let hit = fp.hits.fetch_add(1, Ordering::Relaxed) + 1;
+            let fire = match fp.at {
+                Some(n) => hit == n,
+                None => true,
+            };
+            if fire {
+                fired = Some((fp.action, hit));
+                break;
+            }
+        }
+        fired
+    };
+    if let Some((action, hit)) = fired {
+        bootes_obs::counter_add("guard.failpoint", 1);
+        match action {
+            FailAction::Err => Err(GuardError::Injected {
+                site: site.to_string(),
+            }),
+            FailAction::Panic => panic!("failpoint {site}: injected panic (hit {hit})"),
+        }
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Failpoints are process-global; serialize tests that arm them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn unset_fail_point_is_ok() {
+        let _g = serial();
+        clear_failpoints();
+        for _ in 0..10 {
+            fail_point("anything").unwrap();
+        }
+    }
+
+    #[test]
+    fn err_at_n_fires_exactly_once() {
+        let _g = serial();
+        set_failpoints("a.site=err@3").unwrap();
+        fail_point("a.site").unwrap();
+        fail_point("a.site").unwrap();
+        let err = fail_point("a.site").unwrap_err();
+        assert_eq!(
+            err,
+            GuardError::Injected {
+                site: "a.site".to_string()
+            }
+        );
+        // Hit 4 and beyond: armed-at-3 never fires again.
+        fail_point("a.site").unwrap();
+        fail_point("a.site").unwrap();
+        clear_failpoints();
+    }
+
+    #[test]
+    fn err_without_index_fires_every_hit() {
+        let _g = serial();
+        set_failpoints("b.site=err").unwrap();
+        assert!(fail_point("b.site").is_err());
+        assert!(fail_point("b.site").is_err());
+        assert!(fail_point("other.site").is_ok());
+        clear_failpoints();
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        let _g = serial();
+        set_failpoints("c.site=panic@1").unwrap();
+        let caught = std::panic::catch_unwind(|| fail_point("c.site"));
+        assert!(caught.is_err());
+        clear_failpoints();
+    }
+
+    #[test]
+    fn multiple_entries_parse() {
+        let _g = serial();
+        set_failpoints("lanczos.restart=err@3, kmeans.iter=panic@1").unwrap();
+        fail_point("lanczos.restart").unwrap();
+        fail_point("lanczos.restart").unwrap();
+        assert!(fail_point("lanczos.restart").is_err());
+        clear_failpoints();
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(set_failpoints("nosite").is_err());
+        assert!(set_failpoints("a=nope").is_err());
+        assert!(set_failpoints("a=err@x").is_err());
+        assert!(set_failpoints("a=err@0").is_err());
+        clear_failpoints();
+    }
+
+    #[test]
+    fn checkpoint_routes_through_fail_point() {
+        let _g = serial();
+        set_failpoints("d.site=err@1").unwrap();
+        assert!(crate::checkpoint("d.site").is_err());
+        assert!(crate::checkpoint("d.site").is_ok());
+        clear_failpoints();
+    }
+}

@@ -19,6 +19,9 @@ pub enum LinalgError {
     /// A non-finite value (NaN/inf) appeared during iteration, typically from
     /// a malformed input matrix.
     NumericalBreakdown(String),
+    /// A guard-layer failure (budget exhaustion, injected fault, or isolated
+    /// worker panic) observed inside a numerical routine.
+    Guard(bootes_guard::GuardError),
 }
 
 impl fmt::Display for LinalgError {
@@ -34,11 +37,18 @@ impl fmt::Display for LinalgError {
             ),
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             LinalgError::NumericalBreakdown(msg) => write!(f, "numerical breakdown: {msg}"),
+            LinalgError::Guard(e) => write!(f, "guard: {e}"),
         }
     }
 }
 
 impl std::error::Error for LinalgError {}
+
+impl From<bootes_guard::GuardError> for LinalgError {
+    fn from(err: bootes_guard::GuardError) -> Self {
+        LinalgError::Guard(err)
+    }
+}
 
 #[cfg(test)]
 mod tests {

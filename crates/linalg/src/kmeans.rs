@@ -59,6 +59,9 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 /// - [`LinalgError::InvalidArgument`] if `k == 0`, `k > n`, or `d == 0`.
 /// - [`LinalgError::NumericalBreakdown`] if a point contains non-finite
 ///   coordinates.
+/// - [`LinalgError::Guard`] if the armed resource budget runs out at a
+///   `kmeans.iter` checkpoint, a failpoint fires, or a worker panic is
+///   isolated in the parallel assignment step.
 ///
 /// # Example
 ///
@@ -128,20 +131,23 @@ pub fn kmeans_threads(
     // of the budget to the per-run assignment step without oversubscribing.
     let outer = threads.min(n_init);
     let inner = (threads / outer).max(1);
-    let runs = bootes_par::map_indices(outer, n_init, |init| {
+    let runs = bootes_par::try_map_indices(outer, n_init, |init| {
         let _run_span = bootes_obs::span!("kmeans.run");
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(init as u64));
-        let run = lloyd(points, k, cfg, &mut rng, inner);
+        let run = lloyd(points, k, cfg, &mut rng, inner)?;
         bootes_obs::counter_add("kmeans.iterations", run.iterations as u64);
-        run
-    });
+        Ok::<_, LinalgError>(run)
+    })
+    .map_err(LinalgError::from)?;
     let mut best: Option<KMeansResult> = None;
     for run in runs {
+        let run = run?;
         if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
             best = Some(run);
         }
     }
-    let best = best.expect("at least one init");
+    let best =
+        best.ok_or_else(|| LinalgError::InvalidArgument("n_init must be >= 1".to_string()))?;
     bootes_obs::gauge_set("kmeans.inertia", best.inertia);
     Ok(best)
 }
@@ -237,16 +243,18 @@ fn assign_all(
     labels: &mut [usize],
     dists: &mut [f64],
     threads: usize,
-) {
+) -> Result<(), LinalgError> {
     let ranges = bootes_par::partition_even(points.nrows(), threads);
     let chunks =
-        bootes_par::map_ranges(threads, &ranges, |_, r| assign_chunk(points, centroids, r));
+        bootes_par::try_map_ranges(threads, &ranges, |_, r| assign_chunk(points, centroids, r))
+            .map_err(LinalgError::from)?;
     let mut at = 0usize;
     for (chunk_labels, chunk_dists) in chunks {
         labels[at..at + chunk_labels.len()].copy_from_slice(&chunk_labels);
         dists[at..at + chunk_dists.len()].copy_from_slice(&chunk_dists);
         at += chunk_labels.len();
     }
+    Ok(())
 }
 
 /// Moves the point farthest from its current centroid into the empty cluster
@@ -271,7 +279,7 @@ fn repair_empty_cluster(
         .max_by(|&a, &b| {
             let da = sq_dist(points.row(a), centroids.row(labels[a]));
             let db = sq_dist(points.row(b), centroids.row(labels[b]));
-            da.partial_cmp(&db).expect("finite distances")
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
         })?;
     let old = labels[far];
     counts[old] -= 1;
@@ -290,7 +298,7 @@ fn lloyd(
     cfg: &KMeansConfig,
     rng: &mut StdRng,
     threads: usize,
-) -> KMeansResult {
+) -> Result<KMeansResult, LinalgError> {
     let n = points.nrows();
     let d = points.ncols();
     let seeds = plus_plus_init(points, k, rng);
@@ -303,9 +311,10 @@ fn lloyd(
     let mut dists = vec![0.0f64; n];
     let mut iterations = 0;
     for iter in 0..cfg.max_iter {
+        bootes_guard::checkpoint("kmeans.iter")?;
         iterations = iter + 1;
         // Assignment step (parallel; bit-identical to serial).
-        assign_all(points, &centroids, &mut labels, &mut dists, threads);
+        assign_all(points, &centroids, &mut labels, &mut dists, threads)?;
         // Update step.
         let mut sums = DenseMatrix::zeros(k, d);
         let mut counts = vec![0usize; k];
@@ -343,14 +352,14 @@ fn lloyd(
     }
     // Final assignment and inertia. The distances come back in index order,
     // so the serial sum below reproduces the single-threaded rounding.
-    assign_all(points, &centroids, &mut labels, &mut dists, threads);
+    assign_all(points, &centroids, &mut labels, &mut dists, threads)?;
     let inertia = dists.iter().sum();
-    KMeansResult {
+    Ok(KMeansResult {
         labels,
         centroids,
         inertia,
         iterations,
-    }
+    })
 }
 
 #[cfg(test)]

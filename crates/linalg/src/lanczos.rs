@@ -123,6 +123,8 @@ fn orthogonalize(w: &mut [f64], basis: &[Vec<f64>], coeffs: &mut [f64]) {
 /// - [`LinalgError::NoConvergence`] if `cfg.max_restarts` is exhausted.
 /// - [`LinalgError::NumericalBreakdown`] if the operator produces non-finite
 ///   values.
+/// - [`LinalgError::Guard`] if the armed resource budget runs out at a
+///   `lanczos.restart` checkpoint or a failpoint fires there.
 ///
 /// # Example
 ///
@@ -174,6 +176,7 @@ pub fn lanczos_smallest<A: LinearOperator + ?Sized>(
     let mut beta_last = 0.0f64;
 
     for restart in 0..cfg.max_restarts {
+        bootes_guard::checkpoint("lanczos.restart")?;
         let _restart_span = bootes_obs::span!("lanczos.restart");
         // Extend the basis up to dimension m.
         while basis.len() < m {

@@ -18,6 +18,9 @@ pub enum ModelError {
     },
     /// Serialized model could not be decoded.
     Serialization(String),
+    /// A class index or cluster count did not map to a known label — the
+    /// signature of a corrupt or mismatched model file.
+    InvalidLabel(String),
 }
 
 impl fmt::Display for ModelError {
@@ -29,6 +32,7 @@ impl fmt::Display for ModelError {
                 write!(f, "expected {expected} features, got {got}")
             }
             ModelError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            ModelError::InvalidLabel(msg) => write!(f, "invalid label: {msg}"),
         }
     }
 }

@@ -43,6 +43,7 @@
 //! | `accel.symbolic` | `bootes-accel` — symbolic output sizing |
 //! | `spgemm.dense_acc` / `spgemm.hash_acc` / `spgemm.block` | `bootes-sparse` kernels |
 //! | `par.worker` | `bootes-par` — one worker thread's share of a parallel kernel |
+//! | `reorder.fallback` | `bootes-core` — one pass of the graceful-degradation chain |
 //!
 //! Counters:
 //!
@@ -56,6 +57,9 @@
 //! | `cache.hits{operand=B}` / `cache.misses{operand=B}` | accelerator B-row cache outcomes |
 //! | `accel.bytes{operand=A}` / `accel.bytes{operand=B}` / `accel.bytes{operand=C}` | simulated DRAM traffic per operand |
 //! | `pe.busy_cycles` | total busy cycles across processing elements |
+//! | `guard.fallback` | degradation steps taken by the fallback chain |
+//! | `guard.fallback.from.<rung>` | degradation steps attributed to the named failed rung |
+//! | `guard.failpoint` | deterministic faults fired by `BOOTES_FAILPOINTS` |
 //!
 //! Gauges:
 //!

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Deterministic multi-threading primitives for the Bootes kernels.
 //!
 //! The vendored dependency stand-ins provide no rayon, so this crate builds
@@ -25,10 +26,25 @@
 //!
 //! Worker threads record their busy time under the `par.worker` span through
 //! the `bootes-obs` registry, so profiles show per-thread utilization.
+//!
+//! # Panic isolation
+//!
+//! Every chunk closure runs inside [`std::panic::catch_unwind`] and hits the
+//! `par.worker` guard failpoint first. The `try_*` combinators
+//! ([`try_map_ranges`], [`try_map_indices`], [`try_for_each_chunk_mut`],
+//! [`try_join`]) surface a panicking or fault-injected chunk as a typed
+//! [`GuardError`] instead of aborting the process; the infallible wrappers
+//! re-raise the rendered error as a panic for callers with no error channel
+//! (the fallback chain in `bootes-core` catches those at the rung boundary).
+//! When multiple chunks fail, the error reported is the failing chunk with
+//! the lowest index, keeping the observed failure deterministic.
 
 use std::ops::Range;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+pub use bootes_guard::GuardError;
 
 /// Explicitly configured thread count; `0` means "not set, use the default".
 static EXPLICIT: AtomicUsize = AtomicUsize::new(0);
@@ -115,13 +131,40 @@ pub fn partition_even(n: usize, parts: usize) -> Vec<Range<usize>> {
     partition_weighted(n, parts, |_| 0)
 }
 
+/// Runs one chunk closure behind the `par.worker` failpoint and a panic
+/// isolation boundary, converting both failure modes to [`GuardError`].
+fn run_chunk<R>(
+    i: usize,
+    range: Range<usize>,
+    f: &(impl Fn(usize, Range<usize>) -> R + Sync),
+) -> Result<R, GuardError> {
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        bootes_guard::fail_point("par.worker")?;
+        Ok(f(i, range))
+    }));
+    match caught {
+        Ok(res) => res,
+        Err(payload) => Err(GuardError::Panic {
+            site: "par.worker".to_string(),
+            message: bootes_guard::panic_message(payload.as_ref()),
+        }),
+    }
+}
+
 /// Applies `f` to every range on up to `threads` worker threads and returns
-/// the results **in range order** (the ordered merge).
+/// the results **in range order** (the ordered merge), or the first (lowest
+/// chunk index) [`GuardError`] if a chunk panicked or an armed failpoint
+/// fired.
 ///
 /// `f(chunk_index, range)` must be a pure function of its arguments for the
 /// determinism guarantee to carry through to the caller. With `threads <= 1`
-/// or a single range the closure runs inline on the calling thread.
-pub fn map_ranges<R, F>(threads: usize, ranges: &[Range<usize>], f: F) -> Vec<R>
+/// or a single range the closure runs inline on the calling thread (and
+/// stops at the first failing chunk instead of attempting the rest).
+pub fn try_map_ranges<R, F>(
+    threads: usize,
+    ranges: &[Range<usize>],
+    f: F,
+) -> Result<Vec<R>, GuardError>
 where
     R: Send,
     F: Fn(usize, Range<usize>) -> R + Sync,
@@ -131,12 +174,12 @@ where
             .iter()
             .cloned()
             .enumerate()
-            .map(|(i, r)| f(i, r))
+            .map(|(i, r)| run_chunk(i, r, &f))
             .collect();
     }
     let workers = threads.min(ranges.len());
     let next = AtomicUsize::new(0);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(ranges.len());
+    let mut out: Vec<Option<Result<R, GuardError>>> = Vec::with_capacity(ranges.len());
     out.resize_with(ranges.len(), || None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -151,7 +194,7 @@ where
                         if i >= ranges.len() {
                             break;
                         }
-                        produced.push((i, f(i, ranges[i].clone())));
+                        produced.push((i, run_chunk(i, ranges[i].clone(), f)));
                     }
                     produced
                 })
@@ -164,21 +207,59 @@ where
             }
         }
     });
-    out.into_iter()
-        .map(|r| r.expect("every chunk produced a result"))
-        .collect()
+    let mut results = Vec::with_capacity(ranges.len());
+    for (i, slot) in out.into_iter().enumerate() {
+        match slot {
+            Some(Ok(r)) => results.push(r),
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(GuardError::Panic {
+                    site: "par.worker".to_string(),
+                    message: format!("chunk {i} produced no result"),
+                })
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// Infallible [`try_map_ranges`]: re-raises a chunk's [`GuardError`] as a
+/// panic. Use the `try_` variant wherever an error channel exists.
+pub fn map_ranges<R, F>(threads: usize, ranges: &[Range<usize>], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    match try_map_ranges(threads, ranges, f) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Applies `f` to every index in `0..n` on up to `threads` worker threads,
-/// returning results in index order. Convenience wrapper over [`map_ranges`]
-/// for coarse-grained tasks (e.g. independent k-means restarts).
-pub fn map_indices<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+/// returning results in index order, or the first failing index's
+/// [`GuardError`]. Convenience wrapper over [`try_map_ranges`] for
+/// coarse-grained tasks (e.g. independent k-means restarts).
+pub fn try_map_indices<R, F>(threads: usize, n: usize, f: F) -> Result<Vec<R>, GuardError>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
     let ranges: Vec<Range<usize>> = (0..n).map(|i| i..i + 1).collect();
-    map_ranges(threads, &ranges, |i, _| f(i))
+    try_map_ranges(threads, &ranges, |i, _| f(i))
+}
+
+/// Infallible [`try_map_indices`]: re-raises a chunk's [`GuardError`] as a
+/// panic. Use the `try_` variant wherever an error channel exists.
+pub fn map_indices<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match try_map_indices(threads, n, f) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Runs `f` over disjoint mutable chunks of `data`, one scoped thread per
@@ -192,7 +273,17 @@ where
 /// # Panics
 ///
 /// Panics if `ranges` does not tile `0..data.len()`.
-pub fn for_each_chunk_mut<T, F>(threads: usize, data: &mut [T], ranges: &[Range<usize>], f: F)
+///
+/// A chunk that panics (or whose `par.worker` failpoint fires) yields the
+/// lowest-index failing chunk's [`GuardError`]; that chunk's slice may be
+/// partially written, but other chunks are unaffected and the process
+/// survives.
+pub fn try_for_each_chunk_mut<T, F>(
+    threads: usize,
+    data: &mut [T],
+    ranges: &[Range<usize>],
+    f: F,
+) -> Result<(), GuardError>
 where
     T: Send,
     F: Fn(usize, Range<usize>, &mut [T]) + Sync,
@@ -203,30 +294,110 @@ where
         expected = r.end;
     }
     assert_eq!(expected, data.len(), "ranges must cover the whole slice");
+    let run = |i: usize, r: Range<usize>, chunk: &mut [T]| -> Result<(), GuardError> {
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            bootes_guard::fail_point("par.worker")?;
+            f(i, r, chunk);
+            Ok(())
+        }));
+        match caught {
+            Ok(res) => res,
+            Err(payload) => Err(GuardError::Panic {
+                site: "par.worker".to_string(),
+                message: bootes_guard::panic_message(payload.as_ref()),
+            }),
+        }
+    };
     if threads <= 1 || ranges.len() <= 1 {
         for (i, r) in ranges.iter().enumerate() {
-            f(i, r.clone(), &mut data[r.clone()]);
+            run(i, r.clone(), &mut data[r.clone()])?;
         }
-        return;
+        return Ok(());
     }
     std::thread::scope(|scope| {
-        let f = &f;
+        let run = &run;
         let mut rest = data;
+        let mut handles = Vec::with_capacity(ranges.len());
         for (i, r) in ranges.iter().enumerate() {
             let (chunk, tail) = rest.split_at_mut(r.len());
             rest = tail;
             let r = r.clone();
-            scope.spawn(move || {
+            handles.push(scope.spawn(move || {
                 let _span = bootes_obs::span!("par.worker");
-                f(i, r, chunk);
-            });
+                run(i, r, chunk)
+            }));
         }
-    });
+        let mut first_err = None;
+        for h in handles {
+            let res = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            if let Err(e) = res {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })
+}
+
+/// Infallible [`try_for_each_chunk_mut`]: re-raises a chunk's [`GuardError`]
+/// as a panic. Use the `try_` variant wherever an error channel exists.
+pub fn for_each_chunk_mut<T, F>(threads: usize, data: &mut [T], ranges: &[Range<usize>], f: F)
+where
+    T: Send,
+    F: Fn(usize, Range<usize>, &mut [T]) + Sync,
+{
+    if let Err(e) = try_for_each_chunk_mut(threads, data, ranges, f) {
+        panic!("{e}");
+    }
 }
 
 /// Runs `fa` and `fb`, concurrently when `parallel` is true, and returns both
 /// results as `(a, b)` — the deterministic two-way fork for recursive
-/// divide-and-conquer (e.g. spectral bisection halves).
+/// divide-and-conquer (e.g. spectral bisection halves). If either side
+/// panics or trips the `par.worker` failpoint, the `a` side's error is
+/// reported first (deterministically), and the process survives.
+pub fn try_join<A, B, FA, FB>(parallel: bool, fa: FA, fb: FB) -> Result<(A, B), GuardError>
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    fn run_side<T>(f: impl FnOnce() -> T) -> Result<T, GuardError> {
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            bootes_guard::fail_point("par.worker")?;
+            Ok(f())
+        }));
+        match caught {
+            Ok(res) => res,
+            Err(payload) => Err(GuardError::Panic {
+                site: "par.worker".to_string(),
+                message: bootes_guard::panic_message(payload.as_ref()),
+            }),
+        }
+    }
+    if !parallel {
+        let a = run_side(fa)?;
+        let b = run_side(fb)?;
+        return Ok((a, b));
+    }
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(move || {
+            let _span = bootes_obs::span!("par.worker");
+            run_side(fa)
+        });
+        let b = run_side(fb);
+        let a = ha.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        Ok((a?, b?))
+    })
+}
+
+/// Infallible [`try_join`]: re-raises either side's [`GuardError`] as a
+/// panic. Use the `try_` variant wherever an error channel exists.
 pub fn join<A, B, FA, FB>(parallel: bool, fa: FA, fb: FB) -> (A, B)
 where
     A: Send,
@@ -234,20 +405,10 @@ where
     FA: FnOnce() -> A + Send,
     FB: FnOnce() -> B + Send,
 {
-    if !parallel {
-        let a = fa();
-        let b = fb();
-        return (a, b);
+    match try_join(parallel, fa, fb) {
+        Ok(ab) => ab,
+        Err(e) => panic!("{e}"),
     }
-    std::thread::scope(|scope| {
-        let ha = scope.spawn(move || {
-            let _span = bootes_obs::span!("par.worker");
-            fa()
-        });
-        let b = fb();
-        let a = ha.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
-        (a, b)
-    })
 }
 
 #[cfg(test)]
@@ -339,5 +500,84 @@ mod tests {
         assert_eq!(threads(), 3);
         set_threads(0);
         assert!(threads() >= 1);
+    }
+
+    // Failpoints are process-global; serialize the tests that arm them.
+    static FP_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn fp_serial() -> std::sync::MutexGuard<'static, ()> {
+        FP_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn try_map_ranges_converts_chunk_panic() {
+        let _g = fp_serial();
+        bootes_guard::clear_failpoints();
+        let ranges = partition_even(10, 4);
+        for t in [1usize, 4] {
+            let err = try_map_ranges(t, &ranges, |i, _| {
+                if i == 2 {
+                    panic!("boom in chunk 2");
+                }
+                i
+            })
+            .unwrap_err();
+            match err {
+                GuardError::Panic { site, message } => {
+                    assert_eq!(site, "par.worker");
+                    assert!(message.contains("boom in chunk 2"), "{message}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_ranges_fires_worker_failpoint() {
+        let _g = fp_serial();
+        bootes_guard::set_failpoints("par.worker=err@1").unwrap();
+        let ranges = partition_even(10, 4);
+        let err = try_map_ranges(4, &ranges, |i, _| i).unwrap_err();
+        assert!(matches!(err, GuardError::Injected { .. }), "{err:?}");
+        bootes_guard::clear_failpoints();
+        assert_eq!(
+            try_map_ranges(4, &ranges, |i, _| i).unwrap(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn try_for_each_chunk_mut_survives_chunk_panic() {
+        let _g = fp_serial();
+        bootes_guard::clear_failpoints();
+        let mut data = vec![0usize; 12];
+        let ranges = partition_even(data.len(), 3);
+        let err = try_for_each_chunk_mut(3, &mut data, &ranges, |i, range, chunk| {
+            if i == 1 {
+                panic!("chunk 1 dies");
+            }
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = range.start + off + 1;
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, GuardError::Panic { .. }));
+        // Chunks 0 and 2 still completed; only chunk 1's range is untouched.
+        assert!(data[..4].iter().all(|&v| v != 0));
+        assert!(data[8..].iter().all(|&v| v != 0));
+    }
+
+    #[test]
+    fn try_join_reports_a_side_first() {
+        let _g = fp_serial();
+        bootes_guard::clear_failpoints();
+        for parallel in [false, true] {
+            let err = try_join::<i32, i32, _, _>(parallel, || panic!("left"), || 5).unwrap_err();
+            match err {
+                GuardError::Panic { message, .. } => assert!(message.contains("left")),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(try_join(true, || 1, || 2).unwrap(), (1, 2));
     }
 }

@@ -14,6 +14,10 @@ pub enum ReorderError {
     /// A numerical stage (eigensolve, clustering) failed; the message carries
     /// the inner description.
     Numerical(String),
+    /// A guard-layer failure: budget exhaustion at a checkpoint, an injected
+    /// fault, or a worker panic isolated by `bootes-par`. The fallback chain
+    /// treats this exactly like a numerical failure — step down one rung.
+    Guard(bootes_guard::GuardError),
 }
 
 impl fmt::Display for ReorderError {
@@ -22,6 +26,7 @@ impl fmt::Display for ReorderError {
             ReorderError::Sparse(e) => write!(f, "sparse operation failed: {e}"),
             ReorderError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             ReorderError::Numerical(msg) => write!(f, "numerical stage failed: {msg}"),
+            ReorderError::Guard(e) => write!(f, "guard: {e}"),
         }
     }
 }
@@ -30,6 +35,7 @@ impl std::error::Error for ReorderError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ReorderError::Sparse(e) => Some(e),
+            ReorderError::Guard(e) => Some(e),
             _ => None,
         }
     }
@@ -37,7 +43,18 @@ impl std::error::Error for ReorderError {
 
 impl From<SparseError> for ReorderError {
     fn from(e: SparseError) -> Self {
-        ReorderError::Sparse(e)
+        // Guard failures keep their typed identity across the layer boundary
+        // so the fallback chain can report what actually went wrong.
+        match e {
+            SparseError::Guard(g) => ReorderError::Guard(g),
+            other => ReorderError::Sparse(other),
+        }
+    }
+}
+
+impl From<bootes_guard::GuardError> for ReorderError {
+    fn from(e: bootes_guard::GuardError) -> Self {
+        ReorderError::Guard(e)
     }
 }
 

@@ -75,6 +75,7 @@ impl Reorderer for GammaReorderer {
         // Column -> rows lookup; Gamma tracks which rows share each column.
         let csc = a.to_csc();
         mem.alloc(csc.heap_bytes());
+        bootes_guard::check_bytes("gamma", mem.current_bytes() as u64)?;
 
         let mut q = IndexedPriorityQueue::new(n);
         for r in 0..n {
@@ -93,6 +94,7 @@ impl Reorderer for GammaReorderer {
         q.remove(first);
 
         for i in 1..n {
+            bootes_guard::checkpoint("gamma.place")?;
             // Boost rows similar to the most recently placed row.
             for &u in a.row(p[i - 1]).0 {
                 for &r in csc.col(u).0 {

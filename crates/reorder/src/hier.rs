@@ -73,7 +73,7 @@ impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
         self.sim
             .partial_cmp(&other.sim)
-            .expect("similarities are finite")
+            .unwrap_or(Ordering::Equal)
             .then_with(|| other.i.cmp(&self.i))
             .then_with(|| other.j.cmp(&self.j))
     }
@@ -117,6 +117,7 @@ impl Reorderer for HierReorderer {
         mem.alloc(signatures.heap_bytes());
         let candidates = signatures.candidate_pairs(cfg.bsize);
         mem.alloc(candidates.len() * std::mem::size_of::<(usize, usize)>());
+        bootes_guard::check_bytes("hier", mem.current_bytes() as u64)?;
 
         // Max-heap seeded with exact Jaccard scores of the candidates.
         let mut heap: BinaryHeap<Candidate> = candidates
@@ -136,6 +137,7 @@ impl Reorderer for HierReorderer {
         mem.alloc(n * 3 * std::mem::size_of::<usize>());
 
         while let Some(Candidate { sim, i, j }) = heap.pop() {
+            bootes_guard::checkpoint("hier.merge")?;
             if sim <= 0.0 {
                 // Candidates below any similarity cannot guide merging.
                 continue;

@@ -10,8 +10,6 @@
 
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-
 /// Explicit byte accounting with a high-water mark.
 ///
 /// # Example
@@ -65,7 +63,7 @@ impl MemTracker {
 }
 
 /// Preprocessing cost metrics attached to every reordering outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReorderStats {
     /// Wall-clock time of the reordering computation.
     pub elapsed: Duration,
@@ -73,16 +71,80 @@ pub struct ReorderStats {
     pub peak_bytes: usize,
     /// Algorithm that produced the permutation.
     pub algorithm: String,
+    /// When the fallback chain stepped down, the name of the first rung that
+    /// failed (e.g. `"bootes"`); `None` for a first-choice success. The
+    /// `algorithm` field always names the rung that actually produced the
+    /// permutation.
+    pub degraded_from: Option<String>,
+    /// Why the chain degraded: one `rung: error` clause per failed rung,
+    /// joined with `"; "`. `None` for a first-choice success.
+    pub degrade_reason: Option<String>,
 }
 
 impl ReorderStats {
-    /// Creates stats for an algorithm run.
+    /// Creates stats for a (non-degraded) algorithm run.
     pub fn new(algorithm: &str, elapsed: Duration, peak_bytes: usize) -> Self {
         ReorderStats {
             elapsed,
             peak_bytes,
             algorithm: algorithm.to_string(),
+            degraded_from: None,
+            degrade_reason: None,
         }
+    }
+
+    /// True when the permutation came from a fallback rung rather than the
+    /// first-choice algorithm.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_from.is_some()
+    }
+}
+
+// The vendored serde derive supports no `#[serde(...)]` attributes, so the
+// impls are written out: the degradation fields are omitted when `None`
+// (keeping non-degraded output byte-identical to the pre-degradation format)
+// and default to `None` when absent (so stats written by older versions
+// still load).
+impl serde::Serialize for ReorderStats {
+    fn serialize(&self) -> serde::Value {
+        let mut fields = vec![
+            ("elapsed".to_string(), self.elapsed.serialize()),
+            ("peak_bytes".to_string(), self.peak_bytes.serialize()),
+            ("algorithm".to_string(), self.algorithm.serialize()),
+        ];
+        if let Some(from) = &self.degraded_from {
+            fields.push(("degraded_from".to_string(), from.serialize()));
+        }
+        if let Some(reason) = &self.degrade_reason {
+            fields.push(("degrade_reason".to_string(), reason.serialize()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl serde::Deserialize for ReorderStats {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        if v.as_object().is_none() {
+            return Err(serde::Error::custom("expected object for ReorderStats"));
+        }
+        let required = |name: &str| {
+            v.get(name).ok_or_else(|| {
+                serde::Error::custom(format!("missing field {name} in ReorderStats"))
+            })
+        };
+        let optional = |name: &str| -> Result<Option<String>, serde::Error> {
+            match v.get(name) {
+                None | Some(serde::Value::Null) => Ok(None),
+                Some(val) => serde::Deserialize::deserialize(val).map(Some),
+            }
+        };
+        Ok(ReorderStats {
+            elapsed: serde::Deserialize::deserialize(required("elapsed")?)?,
+            peak_bytes: serde::Deserialize::deserialize(required("peak_bytes")?)?,
+            algorithm: serde::Deserialize::deserialize(required("algorithm")?)?,
+            degraded_from: optional("degraded_from")?,
+            degrade_reason: optional("degrade_reason")?,
+        })
     }
 }
 
@@ -167,7 +229,25 @@ mod tests {
     fn stats_roundtrip_serde() {
         let s = ReorderStats::new("gamma", Duration::from_millis(12), 4096);
         let json = serde_json::to_string(&s).unwrap();
+        // Non-degraded stats serialize exactly as before this field existed.
+        assert!(!json.contains("degraded_from"), "{json}");
         let back: ReorderStats = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn degraded_stats_roundtrip_and_old_json_still_parses() {
+        let mut s = ReorderStats::new("hier", Duration::from_millis(3), 128);
+        s.degraded_from = Some("bootes".to_string());
+        s.degrade_reason = Some("bootes: injected fault at lanczos.restart".to_string());
+        assert!(s.is_degraded());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ReorderStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        // Stats written before the degradation fields existed must load.
+        let old = r#"{"elapsed":{"secs":0,"nanos":5},"peak_bytes":7,"algorithm":"gamma"}"#;
+        let parsed: ReorderStats = serde_json::from_str(old).unwrap();
+        assert_eq!(parsed.algorithm, "gamma");
+        assert!(!parsed.is_degraded());
     }
 }

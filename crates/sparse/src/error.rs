@@ -27,6 +27,9 @@ pub enum SparseError {
     Parse(String),
     /// An underlying I/O error, carried as a message to keep the type `Clone`.
     Io(String),
+    /// A guard-layer failure (budget exhaustion or injected fault) observed
+    /// inside a sparse kernel.
+    Guard(bootes_guard::GuardError),
 }
 
 impl fmt::Display for SparseError {
@@ -46,6 +49,7 @@ impl fmt::Display for SparseError {
             SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
             SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
             SparseError::Io(msg) => write!(f, "io error: {msg}"),
+            SparseError::Guard(e) => write!(f, "guard: {e}"),
         }
     }
 }
@@ -55,6 +59,12 @@ impl std::error::Error for SparseError {}
 impl From<std::io::Error> for SparseError {
     fn from(err: std::io::Error) -> Self {
         SparseError::Io(err.to_string())
+    }
+}
+
+impl From<bootes_guard::GuardError> for SparseError {
+    fn from(err: bootes_guard::GuardError) -> Self {
+        SparseError::Guard(err)
     }
 }
 

@@ -17,10 +17,16 @@ use crate::error::SparseError;
 /// Symmetric files are expanded to full storage (the mirrored entry is added
 /// for every off-diagonal nonzero). `pattern` files store value `1.0`.
 ///
+/// Duplicate coordinates are summed (the Matrix Market "assembled from
+/// element contributions" convention, and what SciPy's reader does), and
+/// non-finite values (`nan`, `inf`) are rejected: they would otherwise parse
+/// successfully and silently poison every similarity/Laplacian computation
+/// downstream.
+///
 /// # Errors
 ///
-/// Returns [`SparseError::Parse`] for malformed headers, counts or entries,
-/// and [`SparseError::Io`] for underlying read failures.
+/// Returns [`SparseError::Parse`] for malformed headers, counts, entries or
+/// non-finite values, and [`SparseError::Io`] for underlying read failures.
 ///
 /// # Example
 ///
@@ -36,6 +42,10 @@ use crate::error::SparseError;
 /// # }
 /// ```
 pub fn read_matrix_market<R: BufRead>(mut reader: R) -> Result<CsrMatrix, SparseError> {
+    // Failpoint-only site (no budget tick): loading the input is mandatory
+    // work that must survive an exhausted preprocessing budget — the
+    // degradation chain downstream handles the budget.
+    bootes_guard::fail_point("sparse.io.read")?;
     let mut header = String::new();
     reader.read_line(&mut header)?;
     let header = header.trim().to_ascii_lowercase();
@@ -125,6 +135,11 @@ pub fn read_matrix_market<R: BufRead>(mut reader: R) -> Result<CsrMatrix, Sparse
                 .parse()
                 .map_err(|e| SparseError::Parse(format!("bad value: {e}")))?,
         };
+        if !v.is_finite() {
+            return Err(SparseError::Parse(format!(
+                "non-finite value {v} at entry ({r}, {c})"
+            )));
+        }
         coo.push(r - 1, c - 1, v)?;
         if symmetry == "symmetric" && r != c {
             coo.push(c - 1, r - 1, v)?;
@@ -206,5 +221,36 @@ mod tests {
     fn rejects_zero_based_indices() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n";
         assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        // "nan"/"inf" parse successfully as f64, so without the explicit
+        // finiteness check they would flow straight into the CSR.
+        for bad in ["nan", "NaN", "inf", "-inf", "Infinity"] {
+            let text = format!("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 {bad}\n");
+            let err = read_matrix_market(text.as_bytes()).unwrap_err();
+            assert!(
+                matches!(&err, SparseError::Parse(msg) if msg.contains("non-finite")),
+                "value {bad:?} produced {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sums_duplicate_coordinate_entries() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 2\n1 1 3.5\n2 2 1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), 5.5);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn duplicate_entries_that_cancel_are_dropped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 2\n1 1 -2\n2 1 1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(1, 0), 1.0);
     }
 }

@@ -133,6 +133,10 @@ impl Permutation {
     ///
     /// Returns [`SparseError::DimensionMismatch`] if `a.nrows() != len()`.
     pub fn apply_rows(&self, a: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
+        // Failpoint-only site (no budget tick): applying an already-computed
+        // permutation must succeed even after the preprocessing budget ran
+        // out, or the fallback chain's output would be unusable.
+        bootes_guard::fail_point("sparse.permute")?;
         if a.nrows() != self.len() {
             return Err(SparseError::DimensionMismatch {
                 left: (self.len(), self.len()),

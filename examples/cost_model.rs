@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut y = Vec::new();
     for (_, m) in &corpus {
         x.push(MatrixFeatures::extract(m).to_vec());
-        y.push(measure_label(m, &accel)?.to_class());
+        y.push(measure_label(m, &accel)?.to_class()?);
     }
     let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
     let ds = Dataset::new(x, y, names, Label::N_CLASSES)?;

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some((k, t)) if (t as f64) < 0.9 * base as f64 => Label::Reorder(k),
             _ => Label::NoReorder,
         };
-        y.push(label.to_class());
+        y.push(label.to_class()?);
     }
     let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
     let ds = Dataset::new(x, y, names, Label::N_CLASSES)?;

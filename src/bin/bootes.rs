@@ -39,8 +39,8 @@ use std::process::ExitCode;
 
 use bootes::accel::{configs, simulate_spgemm, AcceleratorConfig};
 use bootes::core::{
-    BootesConfig, BootesPipeline, Label, MatrixFeatures, RecursiveSpectralReorderer,
-    SpectralReorderer, CANDIDATE_KS, FEATURE_NAMES,
+    BootesConfig, BootesPipeline, FallbackReorderer, Label, MatrixFeatures,
+    RecursiveSpectralReorderer, SpectralReorderer, CANDIDATE_KS, FEATURE_NAMES,
 };
 use bootes::model::{Dataset, DecisionTree, TreeConfig};
 use bootes::reorder::{GammaReorderer, GraphReorderer, HierReorderer, Reorderer};
@@ -58,7 +58,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = run(&args);
+    let result = run(&args, &prof);
     if let Err(msg) = prof.finish() {
         eprintln!("error: {msg}");
         return ExitCode::FAILURE;
@@ -86,17 +86,29 @@ global flags (any subcommand):
   --threads N             worker threads for the parallel kernels (default:
                           all cores; BOOTES_THREADS=N also works; output is
                           bit-identical for any value)
+  --time-budget-ms MS     wall-clock budget for preprocessing; on exhaustion
+                          the reorderer degrades to a cheaper algorithm
+                          instead of running long
+  --mem-budget-mb MB      explicit-accounting memory budget for preprocessing;
+                          on exhaustion the reorderer degrades likewise
+  --no-fallback           disable the graceful-degradation chain: a failed or
+                          over-budget spectral reorder becomes a hard error
   --profile               collect spans/metrics, print profile table to stderr
   --profile-out FILE.json write the profile as JSON
   --trace-out FILE.json   write a Chrome trace-event file
-  (BOOTES_PROFILE=1 in the environment also enables profiling)";
+  (BOOTES_PROFILE=1 in the environment also enables profiling;
+   BOOTES_FAILPOINTS=\"site=err@N,...\" injects deterministic faults)";
 
-/// The global `--profile` / `--profile-out` / `--trace-out` flags, stripped
-/// from the argument list before subcommand dispatch.
+/// The global flags (`--profile`, `--threads`, the guard budgets,
+/// `--no-fallback`, ...), stripped from the argument list before subcommand
+/// dispatch. Holding the struct keeps the armed budget alive for the whole
+/// run; it disarms on drop.
 struct ProfileOpts {
     enabled: bool,
     profile_out: Option<String>,
     trace_out: Option<String>,
+    no_fallback: bool,
+    _budget: Option<bootes::guard::ArmedBudget>,
 }
 
 impl ProfileOpts {
@@ -104,12 +116,33 @@ impl ProfileOpts {
         let mut enabled = false;
         let mut profile_out = None;
         let mut trace_out = None;
+        let mut no_fallback = false;
+        let mut budget = bootes::guard::Budget::unlimited();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--profile" => {
                     enabled = true;
                     args.remove(i);
+                }
+                "--no-fallback" => {
+                    no_fallback = true;
+                    args.remove(i);
+                }
+                "--time-budget-ms" | "--mem-budget-mb" => {
+                    let flag = args.remove(i);
+                    if i >= args.len() {
+                        return Err(format!("{flag} needs a value argument"));
+                    }
+                    let value = args.remove(i);
+                    let n: u64 = value
+                        .parse()
+                        .map_err(|e| format!("bad {flag} value {value:?}: {e}"))?;
+                    budget = if flag == "--time-budget-ms" {
+                        budget.with_time_ms(n)
+                    } else {
+                        budget.with_bytes(n.saturating_mul(1024 * 1024))
+                    };
                 }
                 "--threads" => {
                     args.remove(i);
@@ -144,12 +177,19 @@ impl ProfileOpts {
             enabled = true;
         }
         enabled |= bootes::obs::init_from_env();
+        let armed = if budget.is_unlimited() {
+            None
+        } else {
+            Some(budget.arm())
+        };
         Ok((
             args,
             ProfileOpts {
                 enabled,
                 profile_out,
                 trace_out,
+                no_fallback,
+                _budget: armed,
             },
         ))
     }
@@ -203,14 +243,14 @@ fn accel_from(args: &[String]) -> Result<AcceleratorConfig, String> {
     Ok(cfg)
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String], prof: &ProfileOpts) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".to_string());
     };
     match cmd.as_str() {
-        "reorder" => cmd_reorder(&args[1..]),
+        "reorder" => cmd_reorder(&args[1..], prof.no_fallback),
         "features" => cmd_features(&args[1..]),
-        "simulate" => cmd_simulate(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..], prof.no_fallback),
         "train" => cmd_train(&args[1..]),
         "decide" => cmd_decide(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
@@ -222,7 +262,7 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_reorder(args: &[String]) -> Result<(), String> {
+fn cmd_reorder(args: &[String], no_fallback: bool) -> Result<(), String> {
     let input = args
         .first()
         .filter(|a| !a.starts_with('-'))
@@ -233,8 +273,11 @@ fn cmd_reorder(args: &[String]) -> Result<(), String> {
         Some(v) => v.parse().map_err(|e| format!("bad --k {v:?}: {e}"))?,
         None => 8,
     };
-    let algo = reorderer_from(&algo_name, k)?;
+    let algo = reorderer_from(&algo_name, k, no_fallback)?;
     let out = algo.reorder(&a).map_err(|e| e.to_string())?;
+    if let (Some(from), Some(reason)) = (&out.stats.degraded_from, &out.stats.degrade_reason) {
+        eprintln!("note: output produced by fallback ({from} failed: {reason})");
+    }
     let reordered = out.permutation.apply_rows(&a).map_err(|e| e.to_string())?;
     let out_path = flag(args, "-o").unwrap_or_else(|| format!("{input}.reordered.mtx"));
     let mut file =
@@ -254,9 +297,14 @@ fn cmd_reorder(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn reorderer_from(name: &str, k: usize) -> Result<Box<dyn Reorderer>, String> {
+fn reorderer_from(name: &str, k: usize, no_fallback: bool) -> Result<Box<dyn Reorderer>, String> {
     Ok(match name {
-        "bootes" => Box::new(SpectralReorderer::new(BootesConfig::default().with_k(k))),
+        // "bootes" routes through the graceful-degradation chain unless the
+        // user asked for hard errors with --no-fallback.
+        "bootes" if no_fallback => {
+            Box::new(SpectralReorderer::new(BootesConfig::default().with_k(k)))
+        }
+        "bootes" => Box::new(FallbackReorderer::new(BootesConfig::default().with_k(k))),
         "recursive" => Box::new(RecursiveSpectralReorderer::default()),
         "gamma" => Box::new(GammaReorderer::default()),
         "graph" => Box::new(GraphReorderer::default()),
@@ -275,7 +323,7 @@ fn cmd_features(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(args: &[String], no_fallback: bool) -> Result<(), String> {
     let input = args
         .first()
         .filter(|a| !a.starts_with('-'))
@@ -292,7 +340,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             Some(v) => v.parse().map_err(|e| format!("bad --k {v:?}: {e}"))?,
             None => 8,
         };
-        Some(reorderer_from(&algo_name, k)?)
+        Some(reorderer_from(&algo_name, k, no_fallback)?)
     };
     let b = if a.nrows() == a.ncols() {
         a.clone()
@@ -356,7 +404,11 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let mut y = Vec::new();
     for (_, m) in &corpus {
         x.push(MatrixFeatures::extract(m).to_vec());
-        y.push(measure_label(m, &accel)?.to_class());
+        y.push(
+            measure_label(m, &accel)?
+                .to_class()
+                .map_err(|e| e.to_string())?,
+        );
     }
     let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
     let ds = Dataset::new(x, y, names, Label::N_CLASSES).map_err(|e| e.to_string())?;

@@ -21,6 +21,10 @@
 //!   `BOOTES_PROFILE=1` (see the module docs for the full metric catalog).
 //! - [`par`]: deterministic scoped-thread parallelism behind `--threads` /
 //!   `BOOTES_THREADS` (ordered-merge combinators; serial-identical output).
+//! - [`guard`]: resource budgets (`--time-budget-ms` / `--mem-budget-mb`),
+//!   the graceful-degradation machinery, and deterministic fault injection
+//!   behind `BOOTES_FAILPOINTS` (see the README "Failure semantics &
+//!   budgets" section).
 //!
 //! # Quickstart
 //!
@@ -42,6 +46,7 @@
 
 pub use bootes_accel as accel;
 pub use bootes_core as core;
+pub use bootes_guard as guard;
 pub use bootes_linalg as linalg;
 pub use bootes_model as model;
 pub use bootes_obs as obs;

@@ -1,0 +1,321 @@
+//! Fault-injection suite: drives every edge of the graceful-degradation
+//! chain through the public facade, using the deterministic failpoints and
+//! resource budgets from `bootes::guard`.
+//!
+//! Failpoints, budgets, thread counts and the obs registry are all
+//! process-global, so every test serializes on [`GUARD_LOCK`]. The CI
+//! fault-injection job runs this file alone (`cargo test --test
+//! fault_injection`) so the env-var matrix cannot leak into other suites.
+
+use std::sync::Mutex;
+
+use bootes::core::{BootesConfig, BootesPipeline, FallbackReorderer, Label, SpectralReorderer};
+use bootes::guard::{clear_failpoints, set_failpoints, Budget, GuardError};
+use bootes::model::{Dataset, DecisionTree, TreeConfig};
+use bootes::reorder::{ReorderError, Reorderer};
+use bootes::sparse::CsrMatrix;
+use bootes::workloads::gen::{clustered, GenConfig};
+
+static GUARD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Locks the global-state mutex and resets failpoints on both entry and
+/// (via the returned guard's scope) implicitly before each test's own setup.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    let g = GUARD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    clear_failpoints();
+    g
+}
+
+/// A clustered test matrix large enough that every rung does real work.
+fn matrix() -> CsrMatrix {
+    clustered(&GenConfig::new(96, 96).seed(7), 4, 0.95).expect("valid generator config")
+}
+
+fn chain() -> FallbackReorderer {
+    FallbackReorderer::new(BootesConfig::default().with_k(4))
+}
+
+#[test]
+fn lanczos_failpoint_degrades_to_recursive() {
+    let _g = serial();
+    // @1 fires exactly once: the spectral rung consumes it, the recursive
+    // rung's own Lanczos call runs clean.
+    set_failpoints("lanczos.restart=err@1").unwrap();
+    let a = matrix();
+    let out = chain().reorder(&a).expect("chain must absorb the fault");
+    clear_failpoints();
+    assert_eq!(out.stats.algorithm, "bootes-recursive");
+    assert_eq!(out.stats.degraded_from.as_deref(), Some("bootes"));
+    let reason = out.stats.degrade_reason.expect("reason recorded");
+    assert!(reason.contains("injected fault"), "{reason}");
+    assert_eq!(out.permutation.len(), a.nrows());
+}
+
+#[test]
+fn kmeans_failpoint_degrades_to_recursive() {
+    let _g = serial();
+    set_failpoints("kmeans.iter=err@1").unwrap();
+    let a = matrix();
+    let out = chain().reorder(&a).expect("chain must absorb the fault");
+    clear_failpoints();
+    assert_eq!(out.stats.algorithm, "bootes-recursive");
+    assert_eq!(out.stats.degraded_from.as_deref(), Some("bootes"));
+}
+
+#[test]
+fn persistent_lanczos_fault_falls_through_to_hier() {
+    let _g = serial();
+    // No @N: fires on every hit, so both eigensolver rungs fail and the
+    // chain lands on the LSH reorderer, which needs no eigensolve.
+    set_failpoints("lanczos.restart=err").unwrap();
+    let a = matrix();
+    let out = chain().reorder(&a).expect("chain must absorb the fault");
+    clear_failpoints();
+    assert_eq!(out.stats.algorithm, "hier");
+    assert_eq!(out.stats.degraded_from.as_deref(), Some("bootes"));
+    let reason = out.stats.degrade_reason.expect("reason recorded");
+    assert!(reason.contains("bootes-recursive"), "{reason}");
+    assert_eq!(out.permutation.len(), a.nrows());
+}
+
+#[test]
+fn worker_panic_is_isolated_and_degraded() {
+    let _g = serial();
+    bootes::par::set_threads(4);
+    set_failpoints("par.worker=panic@1").unwrap();
+    let a = matrix();
+    let result = chain().reorder(&a);
+    clear_failpoints();
+    bootes::par::set_threads(0);
+    let out = result.expect("a worker panic must not escape the chain");
+    assert!(out.stats.is_degraded());
+    assert_eq!(out.permutation.len(), a.nrows());
+}
+
+#[test]
+fn zero_time_budget_lands_on_original_order() {
+    let _g = serial();
+    let a = matrix();
+    let armed = Budget::unlimited().with_time_ms(0).arm();
+    let out = chain().reorder(&a).expect("budget exhaustion must degrade");
+    drop(armed);
+    assert_eq!(out.stats.algorithm, "original");
+    assert_eq!(out.stats.degraded_from.as_deref(), Some("bootes"));
+    let reason = out.stats.degrade_reason.expect("reason recorded");
+    assert!(reason.contains("time-ms"), "{reason}");
+    assert!(out.permutation.is_identity());
+}
+
+#[test]
+fn iteration_cap_lands_on_original_order() {
+    let _g = serial();
+    let a = matrix();
+    let armed = Budget::unlimited().with_iterations(1).arm();
+    let out = chain().reorder(&a).expect("budget exhaustion must degrade");
+    drop(armed);
+    assert_eq!(out.stats.algorithm, "original");
+    let reason = out.stats.degrade_reason.expect("reason recorded");
+    assert!(reason.contains("iterations"), "{reason}");
+}
+
+#[test]
+fn byte_budget_degrades_spectral_but_keeps_quality_rungs() {
+    let _g = serial();
+    let a = matrix();
+    // 1 byte: the spectral embedding's explicit accounting trips
+    // immediately, but the recursive rung stays within its (unaccounted)
+    // checkpoint-only path and still produces a quality ordering.
+    let armed = Budget::unlimited().with_bytes(1).arm();
+    let out = chain().reorder(&a).expect("budget exhaustion must degrade");
+    drop(armed);
+    assert_eq!(out.stats.degraded_from.as_deref(), Some("bootes"));
+    let reason = out.stats.degrade_reason.expect("reason recorded");
+    assert!(reason.contains("bytes"), "{reason}");
+    assert_eq!(out.permutation.len(), a.nrows());
+}
+
+#[test]
+fn healthy_chain_is_bit_identical_to_plain_spectral() {
+    let _g = serial();
+    let a = matrix();
+    let cfg = BootesConfig::default().with_k(4);
+    let guarded = FallbackReorderer::new(cfg.clone()).reorder(&a).unwrap();
+    let plain = SpectralReorderer::new(cfg).reorder(&a).unwrap();
+    assert_eq!(guarded.permutation, plain.permutation);
+    assert_eq!(guarded.stats.algorithm, "bootes");
+    assert!(!guarded.stats.is_degraded());
+    assert!(guarded.stats.degrade_reason.is_none());
+}
+
+#[test]
+fn fallback_counters_name_the_failed_rung() {
+    let _g = serial();
+    bootes::obs::set_enabled(true);
+    bootes::obs::reset();
+    set_failpoints("lanczos.restart=err@1").unwrap();
+    let a = matrix();
+    chain().reorder(&a).expect("chain must absorb the fault");
+    clear_failpoints();
+    let profile = bootes::obs::snapshot();
+    bootes::obs::set_enabled(false);
+    bootes::obs::reset();
+    let counter = |name: &str| {
+        profile
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    };
+    assert_eq!(counter("guard.fallback"), Some(1));
+    assert_eq!(counter("guard.fallback.from.bootes"), Some(1));
+    assert_eq!(counter("guard.failpoint"), Some(1));
+}
+
+/// Toy decision tree over the real feature universe: NoReorder for dense
+/// matrices, `k = 4` for sparse ones (mirrors the unit-test model in
+/// `bootes-core`).
+fn toy_model() -> DecisionTree {
+    let n_features = bootes::core::FEATURE_NAMES.len();
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..20 {
+        let dense = i % 2 == 0;
+        let mut f = vec![3.0; n_features];
+        f[2] = if dense { 0.9 } else { 0.001 };
+        x.push(f);
+        y.push(if dense { 0 } else { 2 });
+    }
+    let names = bootes::core::FEATURE_NAMES
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let ds = Dataset::new(x, y, names, Label::N_CLASSES).unwrap();
+    DecisionTree::fit(&ds, &TreeConfig::default()).unwrap()
+}
+
+#[test]
+fn pipeline_preprocess_survives_faults_and_reports_degradation() {
+    let _g = serial();
+    set_failpoints("lanczos.restart=err").unwrap();
+    let pipeline = BootesPipeline::new(toy_model(), BootesConfig::default()).unwrap();
+    let a = matrix();
+    let out = pipeline.preprocess(&a).expect("pipeline must degrade");
+    clear_failpoints();
+    assert!(out.decision.should_reorder());
+    assert_eq!(out.stats.degraded_from.as_deref(), Some("bootes"));
+    assert_eq!(out.permutation.len(), a.nrows());
+}
+
+#[test]
+fn no_fallback_surfaces_the_typed_error() {
+    let _g = serial();
+    set_failpoints("lanczos.restart=err@1").unwrap();
+    let pipeline = BootesPipeline::new(toy_model(), BootesConfig::default())
+        .unwrap()
+        .with_fallback(false);
+    let a = matrix();
+    let result = pipeline.preprocess(&a);
+    clear_failpoints();
+    match result {
+        Err(bootes::core::pipeline::PipelineError::Reorder(ReorderError::Guard(
+            GuardError::Injected { site },
+        ))) => assert_eq!(site, "lanczos.restart"),
+        other => panic!("expected injected guard error, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the installed binary must exit 0 and emit a valid permutation
+// under injected faults and exhausted budgets.
+// ---------------------------------------------------------------------------
+
+fn write_test_matrix(path: &std::path::Path) {
+    let a = matrix();
+    let mut file = std::fs::File::create(path).expect("create temp mtx");
+    bootes::sparse::io::write_matrix_market(&mut file, &a).expect("write temp mtx");
+}
+
+fn run_cli(args: &[&str], failpoints: Option<&str>) -> std::process::Output {
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_bootes"));
+    cmd.args(args);
+    // The failpoint env var is read once per process, so it must be set on
+    // the child's environment, never on the test process itself.
+    match failpoints {
+        Some(spec) => cmd.env("BOOTES_FAILPOINTS", spec),
+        None => cmd.env_remove("BOOTES_FAILPOINTS"),
+    };
+    cmd.output().expect("spawn bootes binary")
+}
+
+#[test]
+fn cli_reorder_exits_zero_under_persistent_faults() {
+    let _g = serial();
+    let dir = std::env::temp_dir();
+    let input = dir.join("bootes_fault_injection_in.mtx");
+    let output = dir.join("bootes_fault_injection_out.mtx");
+    write_test_matrix(&input);
+    let _ = std::fs::remove_file(&output);
+    let out = run_cli(
+        &[
+            "reorder",
+            input.to_str().unwrap(),
+            "-o",
+            output.to_str().unwrap(),
+        ],
+        Some("lanczos.restart=err"),
+    );
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reordered = bootes::sparse::io::read_matrix_market(std::io::BufReader::new(
+        std::fs::File::open(&output).expect("output written"),
+    ))
+    .expect("output parses");
+    assert_eq!(reordered.nrows(), 96);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("degraded"), "stderr: {stderr}");
+}
+
+#[test]
+fn cli_reorder_exits_zero_with_zero_time_budget() {
+    let _g = serial();
+    let dir = std::env::temp_dir();
+    let input = dir.join("bootes_budget_in.mtx");
+    let output = dir.join("bootes_budget_out.mtx");
+    write_test_matrix(&input);
+    let _ = std::fs::remove_file(&output);
+    let out = run_cli(
+        &[
+            "reorder",
+            input.to_str().unwrap(),
+            "-o",
+            output.to_str().unwrap(),
+            "--time-budget-ms",
+            "0",
+        ],
+        None,
+    );
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(output.exists());
+}
+
+#[test]
+fn cli_no_fallback_fails_loudly_under_faults() {
+    let _g = serial();
+    let dir = std::env::temp_dir();
+    let input = dir.join("bootes_nofallback_in.mtx");
+    write_test_matrix(&input);
+    let out = run_cli(
+        &["reorder", input.to_str().unwrap(), "--no-fallback"],
+        Some("lanczos.restart=err"),
+    );
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("injected fault"), "stderr: {stderr}");
+}
