@@ -1,0 +1,192 @@
+//! The three cached artifact families and their serialized form.
+
+use bootes_linalg::Eigenpairs;
+use bootes_reorder::ReorderStats;
+use bootes_sparse::Permutation;
+
+use crate::key::ArtifactKind;
+
+/// A cached final row permutation with the stats of the run that produced it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReorderArtifact {
+    /// The permutation to apply.
+    pub permutation: Permutation,
+    /// Stats of the original (cold) computation. Consumers serving a hit
+    /// override the wall-clock fields; see `ReorderStats::cache_hit`.
+    pub stats: ReorderStats,
+}
+
+/// Cached converged Ritz pairs of a normalized-Laplacian eigensolve, reused
+/// either verbatim (exact key hit) or as a warm-start seed for a new solve on
+/// a recurring sparsity pattern.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RitzArtifact {
+    /// The stored eigenpairs (values, vectors, residuals, solve counters).
+    pub pairs: Eigenpairs,
+}
+
+/// A cached cost-model verdict: the structural feature vector and the class
+/// index the decision tree predicted for it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DecisionArtifact {
+    /// The extracted feature vector (pattern-only features).
+    pub features: Vec<f64>,
+    /// Predicted class index (see `bootes_core::Label::to_class`).
+    pub class: usize,
+}
+
+/// Any cacheable preprocessing artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Artifact {
+    /// A final permutation + stats.
+    Reorder(ReorderArtifact),
+    /// Converged Ritz pairs.
+    Ritz(RitzArtifact),
+    /// A cost-model feature vector + predicted class.
+    Decision(DecisionArtifact),
+}
+
+impl Artifact {
+    /// The artifact family, for key consistency checks.
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            Artifact::Reorder(_) => ArtifactKind::Reorder,
+            Artifact::Ritz(_) => ArtifactKind::Ritz,
+            Artifact::Decision(_) => ArtifactKind::Decision,
+        }
+    }
+
+    /// Approximate heap footprint in bytes, used for the LRU byte
+    /// accounting. Counts the dominant payload arrays plus a small constant
+    /// per structure; allocator overhead and `Vec` spare capacity are
+    /// deliberately ignored (same convention as `bootes_reorder::vec_bytes`).
+    pub fn approx_bytes(&self) -> usize {
+        const STRUCT_OVERHEAD: usize = 64;
+        match self {
+            Artifact::Reorder(a) => {
+                STRUCT_OVERHEAD
+                    + a.permutation.len() * std::mem::size_of::<usize>()
+                    + a.stats.algorithm.len()
+                    + a.stats.degraded_from.as_ref().map_or(0, String::len)
+                    + a.stats.degrade_reason.as_ref().map_or(0, String::len)
+            }
+            Artifact::Ritz(a) => {
+                let vecs: usize = a
+                    .pairs
+                    .eigenvectors
+                    .iter()
+                    .map(|v| v.len() * std::mem::size_of::<f64>())
+                    .sum();
+                STRUCT_OVERHEAD
+                    + vecs
+                    + (a.pairs.eigenvalues.len() + a.pairs.residuals.len())
+                        * std::mem::size_of::<f64>()
+            }
+            Artifact::Decision(a) => {
+                STRUCT_OVERHEAD + a.features.len() * std::mem::size_of::<f64>()
+            }
+        }
+    }
+}
+
+// Tagged-object encoding: `{"kind": "<tag>", "data": {...}}`. Written by
+// hand because the enum carries payloads and the vendored derive only
+// handles named-field structs.
+impl serde::Serialize for Artifact {
+    fn serialize(&self) -> serde::Value {
+        let data = match self {
+            Artifact::Reorder(a) => a.serialize(),
+            Artifact::Ritz(a) => a.serialize(),
+            Artifact::Decision(a) => a.serialize(),
+        };
+        serde::Value::Object(vec![
+            (
+                "kind".to_string(),
+                self.kind().tag().to_string().serialize(),
+            ),
+            ("data".to_string(), data),
+        ])
+    }
+}
+
+impl serde::Deserialize for Artifact {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let tag = v
+            .get("kind")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| serde::Error::custom("artifact missing string field kind"))?;
+        let kind = ArtifactKind::from_tag(tag)
+            .ok_or_else(|| serde::Error::custom(format!("unknown artifact kind {tag:?}")))?;
+        let data = v
+            .get("data")
+            .ok_or_else(|| serde::Error::custom("artifact missing field data"))?;
+        Ok(match kind {
+            ArtifactKind::Reorder => Artifact::Reorder(serde::Deserialize::deserialize(data)?),
+            ArtifactKind::Ritz => Artifact::Ritz(serde::Deserialize::deserialize(data)?),
+            ArtifactKind::Decision => Artifact::Decision(serde::Deserialize::deserialize(data)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_reorder() -> Artifact {
+        Artifact::Reorder(ReorderArtifact {
+            permutation: Permutation::try_new(vec![2, 0, 1]).unwrap(),
+            stats: ReorderStats::new("bootes", Duration::from_millis(5), 4096),
+        })
+    }
+
+    fn sample_ritz() -> Artifact {
+        Artifact::Ritz(RitzArtifact {
+            pairs: Eigenpairs {
+                eigenvalues: vec![0.5, 1.25],
+                eigenvectors: vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]],
+                matvecs: 12,
+                restarts: 1,
+                residuals: vec![1e-9, 3e-9],
+            },
+        })
+    }
+
+    fn sample_decision() -> Artifact {
+        Artifact::Decision(DecisionArtifact {
+            features: vec![1.0, 0.25, 0.001],
+            class: 3,
+        })
+    }
+
+    #[test]
+    fn all_kinds_roundtrip_through_json() {
+        for artifact in [sample_reorder(), sample_ritz(), sample_decision()] {
+            let json = serde_json::to_string(&artifact).unwrap();
+            let back: Artifact = serde_json::from_str(&json).unwrap();
+            assert_eq!(artifact, back);
+            assert_eq!(artifact.kind(), back.kind());
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error_not_a_panic() {
+        let bad = r#"{"kind":"weights","data":{}}"#;
+        assert!(serde_json::from_str::<Artifact>(bad).is_err());
+        let missing = r#"{"data":{}}"#;
+        assert!(serde_json::from_str::<Artifact>(missing).is_err());
+    }
+
+    #[test]
+    fn byte_accounting_scales_with_payload() {
+        let small = sample_decision().approx_bytes();
+        let big = Artifact::Decision(DecisionArtifact {
+            features: vec![0.0; 1000],
+            class: 0,
+        })
+        .approx_bytes();
+        assert!(big > small + 7000, "{big} vs {small}");
+        // The dominant Ritz payload is the eigenvector block.
+        assert!(sample_ritz().approx_bytes() >= 64 + 6 * 8 + 4 * 8);
+    }
+}

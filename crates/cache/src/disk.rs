@@ -1,0 +1,363 @@
+//! Versioned on-disk artifact layer.
+//!
+//! Each entry is one JSON file named `{kind}-{pattern:016x}-{config:016x}.json`
+//! holding a self-describing envelope:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "kind": "reorder",
+//!   "pattern": "00ab...",   // 16 hex digits (u64s exceed f64-safe integers)
+//!   "config":  "00cd...",
+//!   "checksum": "....",     // FNV-1a of the payload's JSON text
+//!   "payload": { ... }      // the serialized Artifact
+//! }
+//! ```
+//!
+//! Writes go to a temporary file in the same directory followed by an atomic
+//! rename, so readers never observe a torn entry. Reads validate the full
+//! envelope (version, kind/key match, checksum) and *quarantine* anything
+//! that fails — the file is moved into a `quarantine/` subdirectory and the
+//! lookup reports a plain miss — so a corrupt or truncated entry can never
+//! panic the pipeline or be served again.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bootes_sparse::Fnv1a;
+
+use crate::artifact::Artifact;
+use crate::key::CacheKey;
+
+/// On-disk format version; bump on any change to the envelope, the artifact
+/// encoding, or the fingerprint scheme (see the known-answer test in
+/// `bootes_sparse::fingerprint`). Entries with a different version are
+/// ignored, not quarantined — they belong to another software version.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Name of the subdirectory corrupt entries are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A cache directory on disk.
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+fn hex16(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+fn parse_hex16(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+fn checksum(payload_json: &str) -> String {
+    let mut h = Fnv1a::new();
+    h.write_bytes(payload_json.as_bytes());
+    hex16(h.finish())
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskStore { dir })
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Persists `artifact` under `key` with a write-to-temp + atomic-rename
+    /// protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; callers treat persistence as best-effort.
+    pub fn store(&self, key: &CacheKey, artifact: &Artifact) -> std::io::Result<()> {
+        let payload = serde::Serialize::serialize(artifact);
+        let payload_json = serde_json::to_string(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let envelope = serde::Value::Object(vec![
+            ("version".to_string(), serde::Value::UInt(FORMAT_VERSION)),
+            (
+                "kind".to_string(),
+                serde::Value::Str(key.kind.tag().to_string()),
+            ),
+            ("pattern".to_string(), serde::Value::Str(hex16(key.pattern))),
+            ("config".to_string(), serde::Value::Str(hex16(key.config))),
+            (
+                "checksum".to_string(),
+                serde::Value::Str(checksum(&payload_json)),
+            ),
+            ("payload".to_string(), payload),
+        ]);
+        let text = serde_json::to_string(&envelope)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        // Unique temp name per write: concurrent writers of the same key
+        // each rename their own finished file into place (last one wins,
+        // both are valid entries with identical content for a deterministic
+        // pipeline).
+        let tmp = self.dir.join(format!(
+            ".{}.{}.{}.tmp",
+            key.file_name(),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, text)?;
+        match std::fs::rename(&tmp, self.path_for(key)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Loads the entry for `key`, or `None` when absent, from another format
+    /// version, or corrupt (in which case the file is quarantined and a
+    /// `cache.quarantine` counter incremented).
+    pub fn load(&self, key: &CacheKey) -> Option<Artifact> {
+        let path = self.path_for(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match self.parse_entry(key, &text) {
+            ParseOutcome::Ok(artifact) => Some(artifact),
+            ParseOutcome::WrongVersion => None,
+            ParseOutcome::Corrupt(why) => {
+                self.quarantine(&path, &why);
+                None
+            }
+        }
+    }
+
+    /// Scans the directory for any entry of the same kind and pattern as
+    /// `key` but a *different* config hash — the warm-start donor lookup.
+    /// Returns the first valid match in lexicographic file-name order (a
+    /// deterministic choice); corrupt candidates are quarantined and
+    /// skipped.
+    pub fn load_same_pattern(&self, key: &CacheKey) -> Option<Artifact> {
+        let prefix = format!("{}-{}-", key.kind.tag(), hex16(key.pattern));
+        let mut names: Vec<String> = std::fs::read_dir(&self.dir)
+            .ok()?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with(&prefix) && n.ends_with(".json"))
+            .collect();
+        names.sort();
+        for name in names {
+            let cfg_hex = name
+                .trim_end_matches(".json")
+                .rsplit('-')
+                .next()
+                .and_then(parse_hex16);
+            let Some(config) = cfg_hex else { continue };
+            if config == key.config {
+                continue; // the exact entry is the caller's normal lookup
+            }
+            let donor_key = CacheKey { config, ..*key };
+            if let Some(artifact) = self.load(&donor_key) {
+                return Some(artifact);
+            }
+        }
+        None
+    }
+
+    fn parse_entry(&self, key: &CacheKey, text: &str) -> ParseOutcome {
+        let envelope: serde::Value = match serde_json::from_str(text) {
+            Ok(v) => v,
+            Err(e) => return ParseOutcome::Corrupt(format!("unparseable JSON: {e}")),
+        };
+        match envelope.get("version").and_then(|v| v.as_u64()) {
+            Some(FORMAT_VERSION) => {}
+            Some(_) => return ParseOutcome::WrongVersion,
+            None => return ParseOutcome::Corrupt("missing version".to_string()),
+        }
+        let kind_ok = envelope
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .is_some_and(|t| t == key.kind.tag());
+        let pattern_ok = envelope
+            .get("pattern")
+            .and_then(|v| v.as_str())
+            .and_then(parse_hex16)
+            .is_some_and(|p| p == key.pattern);
+        let config_ok = envelope
+            .get("config")
+            .and_then(|v| v.as_str())
+            .and_then(parse_hex16)
+            .is_some_and(|c| c == key.config);
+        if !kind_ok || !pattern_ok || !config_ok {
+            return ParseOutcome::Corrupt(
+                "envelope key fields disagree with file name".to_string(),
+            );
+        }
+        let Some(payload) = envelope.get("payload") else {
+            return ParseOutcome::Corrupt("missing payload".to_string());
+        };
+        let payload_json = match serde_json::to_string(payload) {
+            Ok(s) => s,
+            Err(e) => return ParseOutcome::Corrupt(format!("unserializable payload: {e}")),
+        };
+        let stored_sum = envelope.get("checksum").and_then(|v| v.as_str());
+        if stored_sum != Some(checksum(&payload_json).as_str()) {
+            return ParseOutcome::Corrupt("checksum mismatch".to_string());
+        }
+        match <Artifact as serde::Deserialize>::deserialize(payload) {
+            Ok(artifact) if artifact.kind() == key.kind => ParseOutcome::Ok(artifact),
+            Ok(_) => ParseOutcome::Corrupt("payload kind disagrees with envelope".to_string()),
+            Err(e) => ParseOutcome::Corrupt(format!("invalid payload: {e}")),
+        }
+    }
+
+    fn quarantine(&self, path: &Path, why: &str) {
+        bootes_obs::counter_add("cache.quarantine", 1);
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let moved = std::fs::create_dir_all(&qdir).is_ok()
+            && path
+                .file_name()
+                .map(|name| std::fs::rename(path, qdir.join(name)).is_ok())
+                .unwrap_or(false);
+        if !moved {
+            // Last resort: remove it so it cannot be served again.
+            let _ = std::fs::remove_file(path);
+        }
+        eprintln!(
+            "warning: quarantined corrupt cache entry {}: {why}",
+            path.display()
+        );
+    }
+}
+
+enum ParseOutcome {
+    Ok(Artifact),
+    WrongVersion,
+    Corrupt(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::DecisionArtifact;
+    use crate::key::ArtifactKind;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bootes-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_key() -> CacheKey {
+        CacheKey {
+            kind: ArtifactKind::Decision,
+            pattern: 0xDEAD_BEEF_0123_4567,
+            config: 0x89AB_CDEF_0000_0001,
+        }
+    }
+
+    fn sample_artifact() -> Artifact {
+        Artifact::Decision(DecisionArtifact {
+            features: vec![0.125, -3.5, 0.0],
+            class: 2,
+        })
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = tmp_dir("roundtrip");
+        let store = DiskStore::open(&dir).unwrap();
+        let key = sample_key();
+        store.store(&key, &sample_artifact()).unwrap();
+        assert_eq!(store.load(&key), Some(sample_artifact()));
+        // A different config hash is a miss, not a false hit.
+        let other = CacheKey {
+            config: key.config ^ 1,
+            ..key
+        };
+        assert_eq!(store.load(&other), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_and_missed() {
+        let dir = tmp_dir("corrupt");
+        let store = DiskStore::open(&dir).unwrap();
+        let key = sample_key();
+        store.store(&key, &sample_artifact()).unwrap();
+        // Flip payload bytes without updating the checksum.
+        let path = dir.join(key.file_name());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("0.125", "0.625")).unwrap();
+        assert_eq!(store.load(&key), None);
+        assert!(!path.exists(), "corrupt file must not stay in place");
+        assert!(
+            dir.join(QUARANTINE_DIR).join(key.file_name()).exists(),
+            "corrupt file must be quarantined"
+        );
+        // A second lookup is a clean miss, not a repeated quarantine.
+        assert_eq!(store.load(&key), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined() {
+        let dir = tmp_dir("truncated");
+        let store = DiskStore::open(&dir).unwrap();
+        let key = sample_key();
+        store.store(&key, &sample_artifact()).unwrap();
+        let path = dir.join(key.file_name());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_eq!(store.load(&key), None);
+        assert!(dir.join(QUARANTINE_DIR).join(key.file_name()).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_format_version_is_ignored_not_quarantined() {
+        let dir = tmp_dir("version");
+        let store = DiskStore::open(&dir).unwrap();
+        let key = sample_key();
+        store.store(&key, &sample_artifact()).unwrap();
+        let path = dir.join(key.file_name());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("\"version\":1", "\"version\":2")).unwrap();
+        assert_eq!(store.load(&key), None);
+        assert!(path.exists(), "other-version entries are left alone");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_pattern_donor_lookup_skips_exact_key() {
+        let dir = tmp_dir("donor");
+        let store = DiskStore::open(&dir).unwrap();
+        let key = sample_key();
+        let donor = CacheKey {
+            config: key.config ^ 0xFF,
+            ..key
+        };
+        store.store(&donor, &sample_artifact()).unwrap();
+        // No exact entry, but the same-pattern donor is found.
+        assert_eq!(store.load(&key), None);
+        assert_eq!(store.load_same_pattern(&key), Some(sample_artifact()));
+        // With only the exact entry present, the donor lookup returns None.
+        let lonely = tmp_dir("donor2");
+        let store2 = DiskStore::open(&lonely).unwrap();
+        store2.store(&key, &sample_artifact()).unwrap();
+        assert_eq!(store2.load_same_pattern(&key), None);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&lonely);
+    }
+}

@@ -1,0 +1,390 @@
+#![warn(missing_docs)]
+//! Content-addressed preprocessing artifact cache.
+//!
+//! Bootes preprocessing is expensive relative to the SpGEMM it accelerates
+//! (the paper's §5.4 preprocessing-overhead analysis), and real workloads
+//! re-factorize matrices whose sparsity pattern recurs run after run. This
+//! crate amortizes that cost: every preprocessing artifact is keyed by the
+//! *content* of the input matrix (a [`bootes_sparse::MatrixFingerprint`])
+//! plus a hash of the producing configuration, and stored in a two-layer
+//! cache —
+//!
+//! - a sharded in-memory LRU ([`MemoryStore`]) whose byte footprint is
+//!   capped by a [`bootes_guard::Budget`] ceiling, and
+//! - an optional versioned on-disk layer ([`DiskStore`], `--cache-dir`) with
+//!   atomic-rename writes and quarantine-on-corruption semantics.
+//!
+//! Three artifact families are cached (see [`Artifact`]):
+//!
+//! 1. **Reorder** — the final row permutation plus its `ReorderStats`. An
+//!    exact hit skips the whole spectral pipeline and returns bit-identical
+//!    output (the stored stats are re-stamped with the lookup time and a
+//!    `cache_hit` marker).
+//! 2. **Ritz** — converged Lanczos eigenpairs. An exact hit is reused
+//!    verbatim; a same-pattern entry under a *different* solver
+//!    configuration can seed a warm-started solve (opt-in, because a
+//!    warm-started solve is deterministic but not bit-identical to cold).
+//! 3. **Decision** — the structural feature vector and the decision tree's
+//!    predicted class.
+//!
+//! All three are functions of the sparsity pattern only, so the keys use the
+//! pattern hash and matrices differing only in values share entries.
+//!
+//! Consumers integrate through the process-global instance: [`install`] a
+//! configured [`Cache`] (the CLI does this from `--cache-dir` /
+//! `--cache-mem-mb`), and `bootes-core` consults [`global`] before every
+//! reorder, eigensolve and model decision. With nothing installed every
+//! lookup is a no-op and the pipeline behaves exactly as an uncached build.
+//!
+//! Observability: `cache.hit`, `cache.miss`, `cache.evict` and
+//! `cache.quarantine` counters plus the `cache.bytes` gauge (see the
+//! `bootes-obs` metric catalog).
+
+pub mod artifact;
+pub mod disk;
+pub mod key;
+pub mod store;
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+pub use artifact::{Artifact, DecisionArtifact, ReorderArtifact, RitzArtifact};
+pub use disk::{DiskStore, FORMAT_VERSION, QUARANTINE_DIR};
+pub use key::{ArtifactKind, CacheKey};
+pub use store::{MemoryStore, N_SHARDS};
+
+use bootes_guard::Budget;
+
+/// Configuration of a [`Cache`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheConfig {
+    /// Byte ceiling of the in-memory layer (`max_bytes`; unlimited budgets
+    /// disable eviction).
+    pub mem_budget: Budget,
+    /// Directory of the on-disk layer; `None` keeps the cache memory-only.
+    pub dir: Option<PathBuf>,
+    /// Allow warm-starting eigensolves from same-pattern entries stored
+    /// under a different solver configuration. Off by default: a warm-started
+    /// solve is deterministic but not bit-identical to a cold one, so
+    /// enabling this trades exact reproducibility for speed.
+    pub warm_start: bool,
+}
+
+impl CacheConfig {
+    /// Memory-only cache with the given byte ceiling.
+    pub fn memory_only(mem_bytes: u64) -> Self {
+        CacheConfig {
+            mem_budget: Budget::unlimited().with_bytes(mem_bytes),
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Adds an on-disk layer rooted at `dir`.
+    pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// Enables warm-start donation (see [`CacheConfig::warm_start`]).
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+}
+
+/// Monotonic counters of one [`Cache`] instance, for bench reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that found nothing (including quarantined entries).
+    pub misses: u64,
+    /// Entries evicted from the memory layer (including oversized rejects).
+    pub evictions: u64,
+    /// Currently accounted bytes in the memory layer.
+    pub bytes: usize,
+    /// Live entries in the memory layer.
+    pub entries: usize,
+}
+
+/// The two-layer artifact cache.
+pub struct Cache {
+    config: CacheConfig,
+    mem: MemoryStore,
+    disk: Option<DiskStore>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Cache {
+    /// Builds a cache from `config`, creating the disk directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the configured directory cannot be
+    /// created — surfaced at configuration time (CLI startup), not per
+    /// lookup.
+    pub fn new(config: CacheConfig) -> std::io::Result<Self> {
+        let disk = match &config.dir {
+            Some(dir) => Some(DiskStore::open(dir)?),
+            None => None,
+        };
+        Ok(Cache {
+            mem: MemoryStore::with_budget(&config.mem_budget),
+            disk,
+            config,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Whether warm-start donation is enabled.
+    pub fn warm_start_enabled(&self) -> bool {
+        self.config.warm_start
+    }
+
+    /// Looks up `key` in memory, then on disk (promoting a disk hit into
+    /// memory). Counts `cache.hit` / `cache.miss`.
+    pub fn get(&self, key: &CacheKey) -> Option<Artifact> {
+        if let Some(artifact) = self.mem.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            bootes_obs::counter_add("cache.hit", 1);
+            return Some(artifact);
+        }
+        if let Some(disk) = &self.disk {
+            if let Some(artifact) = disk.load(key) {
+                self.mem.put(*key, artifact.clone());
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                bootes_obs::counter_add("cache.hit", 1);
+                return Some(artifact);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        bootes_obs::counter_add("cache.miss", 1);
+        None
+    }
+
+    /// Stores `artifact` under `key` in memory and (best-effort) on disk.
+    /// Disk failures are reported on stderr but never fail the pipeline.
+    /// A key/artifact kind mismatch is a programming error and panics in
+    /// debug builds; release builds drop the entry instead of poisoning the
+    /// cache.
+    pub fn put(&self, key: CacheKey, artifact: Artifact) {
+        debug_assert_eq!(key.kind, artifact.kind(), "cache key/artifact mismatch");
+        if key.kind != artifact.kind() {
+            return;
+        }
+        if let Some(disk) = &self.disk {
+            if let Err(e) = disk.store(&key, &artifact) {
+                eprintln!(
+                    "warning: failed to persist cache entry {}: {e}",
+                    key.file_name()
+                );
+            }
+        }
+        self.mem.put(key, artifact);
+    }
+
+    /// Warm-start donor lookup: a Ritz artifact with the same sparsity
+    /// pattern as `key` but a different solver configuration, from memory
+    /// first, then disk. Returns `None` unless [`CacheConfig::warm_start`]
+    /// is enabled. Does not count hit/miss — a donor is an accelerated miss,
+    /// not a hit.
+    pub fn ritz_donor(&self, key: &CacheKey) -> Option<RitzArtifact> {
+        if !self.config.warm_start || key.kind != ArtifactKind::Ritz {
+            return None;
+        }
+        let from_mem = self.mem.scan(|k, a| match a {
+            Artifact::Ritz(r)
+                if k.kind == ArtifactKind::Ritz
+                    && k.pattern == key.pattern
+                    && k.config != key.config =>
+            {
+                Some(r.clone())
+            }
+            _ => None,
+        });
+        if from_mem.is_some() {
+            return from_mem;
+        }
+        match self.disk.as_ref()?.load_same_pattern(key)? {
+            Artifact::Ritz(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of this cache's counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.mem.evictions(),
+            bytes: self.mem.bytes(),
+            entries: self.mem.len(),
+        }
+    }
+}
+
+/// Hashes any serializable value through its compact JSON encoding —
+/// the standard way to derive the `config` component of a [`CacheKey`]
+/// (e.g. from a `BootesConfig`, a `LanczosConfig`, or a trained model).
+/// Deterministic because the vendored serializer emits fields in
+/// declaration order and round-trips `f64` exactly.
+pub fn hash_serialized<T: serde::Serialize + ?Sized>(value: &T) -> u64 {
+    let json = serde_json::to_string(value).unwrap_or_default();
+    let mut h = bootes_sparse::Fnv1a::new();
+    h.write_str(&json);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Process-global instance
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<Mutex<Option<Arc<Cache>>>> = OnceLock::new();
+
+fn global_slot() -> std::sync::MutexGuard<'static, Option<Arc<Cache>>> {
+    let m = GLOBAL.get_or_init(|| Mutex::new(None));
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Installs `cache` as the process-global instance consulted by the
+/// preprocessing pipeline, replacing (and returning) any previous one.
+/// Follows the same process-global pattern as the `bootes-obs` registry and
+/// the `bootes-guard` armed budget: the CLI configures it once at startup,
+/// library code reads it through [`global`].
+pub fn install(cache: Cache) -> Option<Arc<Cache>> {
+    global_slot().replace(Arc::new(cache))
+}
+
+/// Removes the process-global cache (lookups become no-ops again) and
+/// returns it, e.g. to read final [`Cache::stats`].
+pub fn uninstall() -> Option<Arc<Cache>> {
+    global_slot().take()
+}
+
+/// The currently installed process-global cache, if any.
+pub fn global() -> Option<Arc<Cache>> {
+    global_slot().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(class: usize) -> Artifact {
+        Artifact::Decision(DecisionArtifact {
+            features: vec![1.0, 2.0],
+            class,
+        })
+    }
+
+    fn key(pattern: u64, config: u64) -> CacheKey {
+        CacheKey {
+            kind: ArtifactKind::Decision,
+            pattern,
+            config,
+        }
+    }
+
+    #[test]
+    fn memory_only_hit_miss_accounting() {
+        let cache = Cache::new(CacheConfig::memory_only(1 << 20)).unwrap();
+        assert_eq!(cache.get(&key(1, 1)), None);
+        cache.put(key(1, 1), decision(3));
+        assert_eq!(cache.get(&key(1, 1)), Some(decision(3)));
+        assert_eq!(cache.get(&key(1, 2)), None, "config hash isolates entries");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn disk_layer_survives_a_fresh_memory_layer() {
+        let dir =
+            std::env::temp_dir().join(format!("bootes-cache-lib-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = Cache::new(CacheConfig::memory_only(1 << 20).with_dir(&dir)).unwrap();
+            cache.put(key(7, 9), decision(4));
+        }
+        // New cache, empty memory: the entry comes back from disk.
+        let cache = Cache::new(CacheConfig::memory_only(1 << 20).with_dir(&dir)).unwrap();
+        assert_eq!(cache.get(&key(7, 9)), Some(decision(4)));
+        // Promoted into memory: a second hit works even if the file vanishes.
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(cache.get(&key(7, 9)), Some(decision(4)));
+    }
+
+    #[test]
+    fn ritz_donor_respects_opt_in_and_kind() {
+        let pairs = bootes_linalg::Eigenpairs {
+            eigenvalues: vec![0.1],
+            eigenvectors: vec![vec![1.0, 0.0]],
+            matvecs: 3,
+            restarts: 0,
+            residuals: vec![1e-10],
+        };
+        let ritz_key = CacheKey {
+            kind: ArtifactKind::Ritz,
+            pattern: 5,
+            config: 100,
+        };
+        let donor_key = CacheKey {
+            config: 200,
+            ..ritz_key
+        };
+        // Disabled (default): no donor even though one exists.
+        let off = Cache::new(CacheConfig::memory_only(1 << 20)).unwrap();
+        off.put(
+            donor_key,
+            Artifact::Ritz(RitzArtifact {
+                pairs: pairs.clone(),
+            }),
+        );
+        assert!(off.ritz_donor(&ritz_key).is_none());
+        // Enabled: the same-pattern different-config entry is donated.
+        let on = Cache::new(CacheConfig::memory_only(1 << 20).with_warm_start(true)).unwrap();
+        on.put(
+            donor_key,
+            Artifact::Ritz(RitzArtifact {
+                pairs: pairs.clone(),
+            }),
+        );
+        assert_eq!(on.ritz_donor(&ritz_key).map(|r| r.pairs), Some(pairs));
+        // An exact-config entry is never its own donor.
+        assert!(on.ritz_donor(&donor_key).is_none());
+    }
+
+    #[test]
+    fn hash_serialized_is_deterministic_and_sensitive() {
+        let a = vec![1.0f64, 2.0, 3.0];
+        let b = vec![1.0f64, 2.0, 3.0000000001];
+        assert_eq!(hash_serialized(&a), hash_serialized(&a));
+        assert_ne!(hash_serialized(&a), hash_serialized(&b));
+    }
+
+    #[test]
+    fn global_install_uninstall_cycle() {
+        // Serialize against other tests touching the global slot.
+        uninstall();
+        assert!(global().is_none());
+        install(Cache::new(CacheConfig::memory_only(1 << 16)).unwrap());
+        let g = global().expect("installed");
+        g.put(key(42, 1), decision(0));
+        assert_eq!(g.stats().entries, 1);
+        let removed = uninstall().expect("was installed");
+        assert_eq!(removed.stats().entries, 1);
+        assert!(global().is_none());
+    }
+}

@@ -41,6 +41,9 @@ pub mod spectral;
 
 pub use config::BootesConfig;
 pub use features::{MatrixFeatures, FEATURE_NAMES};
-pub use pipeline::{BootesPipeline, Decision, FallbackReorderer, Label, CANDIDATE_KS};
+pub use pipeline::{
+    BootesPipeline, Decision, FallbackReorderer, Label, PipelineError, PipelineOutcome,
+    CANDIDATE_KS,
+};
 pub use recursive::RecursiveSpectralReorderer;
 pub use spectral::SpectralReorderer;

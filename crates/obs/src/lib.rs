@@ -60,6 +60,10 @@
 //! | `guard.fallback` | degradation steps taken by the fallback chain |
 //! | `guard.fallback.from.<rung>` | degradation steps attributed to the named failed rung |
 //! | `guard.failpoint` | deterministic faults fired by `BOOTES_FAILPOINTS` |
+//! | `cache.hit` | artifact-cache lookups served from memory or disk (`bootes-cache`) |
+//! | `cache.miss` | artifact-cache lookups that found nothing valid |
+//! | `cache.evict` | entries evicted from the in-memory LRU (incl. oversized rejects) |
+//! | `cache.quarantine` | corrupt on-disk entries moved to `quarantine/` |
 //!
 //! Gauges:
 //!
@@ -68,6 +72,7 @@
 //! | `lanczos.residual` | worst converged-pair residual of the last solve |
 //! | `kmeans.inertia` | best inertia of the last k-means call |
 //! | `pe.utilization` | busy/critical-path ratio of the last simulation |
+//! | `cache.bytes` | current byte footprint of the in-memory artifact cache |
 //!
 //! Histograms (log2 buckets):
 //!

@@ -79,6 +79,10 @@ pub struct ReorderStats {
     /// Why the chain degraded: one `rung: error` clause per failed rung,
     /// joined with `"; "`. `None` for a first-choice success.
     pub degrade_reason: Option<String>,
+    /// True when the permutation was served from the preprocessing artifact
+    /// cache instead of being recomputed. Cached stats report the (near-zero)
+    /// lookup time in `elapsed`, not the original computation time.
+    pub cache_hit: bool,
 }
 
 impl ReorderStats {
@@ -90,6 +94,7 @@ impl ReorderStats {
             algorithm: algorithm.to_string(),
             degraded_from: None,
             degrade_reason: None,
+            cache_hit: false,
         }
     }
 
@@ -97,6 +102,19 @@ impl ReorderStats {
     /// first-choice algorithm.
     pub fn is_degraded(&self) -> bool {
         self.degraded_from.is_some()
+    }
+
+    /// Strips run-dependent fields (wall-clock time, the cache-hit marker)
+    /// so stats from a cold run, a cache hit, and a disk-reloaded entry can
+    /// be compared byte-for-byte through their JSON encodings. Everything
+    /// that describes the *computation* — algorithm, footprint, degradation
+    /// trail — is preserved.
+    pub fn canonical(&self) -> ReorderStats {
+        ReorderStats {
+            elapsed: Duration::ZERO,
+            cache_hit: false,
+            ..self.clone()
+        }
     }
 }
 
@@ -117,6 +135,11 @@ impl serde::Serialize for ReorderStats {
         }
         if let Some(reason) = &self.degrade_reason {
             fields.push(("degrade_reason".to_string(), reason.serialize()));
+        }
+        // Omitted when false: stats from uncached runs stay byte-identical
+        // to the pre-cache format.
+        if self.cache_hit {
+            fields.push(("cache_hit".to_string(), self.cache_hit.serialize()));
         }
         serde::Value::Object(fields)
     }
@@ -144,6 +167,10 @@ impl serde::Deserialize for ReorderStats {
             algorithm: serde::Deserialize::deserialize(required("algorithm")?)?,
             degraded_from: optional("degraded_from")?,
             degrade_reason: optional("degrade_reason")?,
+            cache_hit: match v.get("cache_hit") {
+                None | Some(serde::Value::Null) => false,
+                Some(val) => serde::Deserialize::deserialize(val)?,
+            },
         })
     }
 }
@@ -231,8 +258,32 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         // Non-degraded stats serialize exactly as before this field existed.
         assert!(!json.contains("degraded_from"), "{json}");
+        assert!(!json.contains("cache_hit"), "{json}");
         let back: ReorderStats = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn cache_hit_marker_roundtrips_and_canonical_strips_it() {
+        let mut s = ReorderStats::new("bootes", Duration::from_micros(7), 512);
+        s.cache_hit = true;
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"cache_hit\":true"), "{json}");
+        let back: ReorderStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+
+        let mut cold = ReorderStats::new("bootes", Duration::from_millis(80), 512);
+        cold.degraded_from = Some("x".to_string());
+        let mut hit = cold.clone();
+        hit.elapsed = Duration::from_nanos(900);
+        hit.cache_hit = true;
+        // Different wall-clock and hit marker, same computation: canonical
+        // forms (and their JSON) must agree exactly.
+        assert_eq!(cold.canonical(), hit.canonical());
+        assert_eq!(
+            serde_json::to_string(&cold.canonical()).unwrap(),
+            serde_json::to_string(&hit.canonical()).unwrap()
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod csc;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod fingerprint;
 pub mod io;
 pub mod ops;
 pub mod perm;
@@ -47,4 +48,5 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
+pub use fingerprint::{Fnv1a, MatrixFingerprint};
 pub use perm::Permutation;

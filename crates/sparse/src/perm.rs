@@ -179,9 +179,39 @@ impl From<Permutation> for Vec<usize> {
     }
 }
 
+// Serialized as the bare `new -> old` index array (not a struct wrapper):
+// the JSON form is exactly what the paper calls "the array of the final row
+// permutation", and deserialization re-validates bijectivity through
+// `try_new` so a hand-edited or corrupted file cannot smuggle in an invalid
+// permutation.
+impl serde::Serialize for Permutation {
+    fn serialize(&self) -> serde::Value {
+        self.new_to_old.serialize()
+    }
+}
+
+impl serde::Deserialize for Permutation {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let raw: Vec<usize> = serde::Deserialize::deserialize(v)?;
+        Permutation::try_new(raw)
+            .map_err(|e| serde::Error::custom(format!("invalid permutation: {e}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serde_roundtrips_and_validates() {
+        let p = Permutation::try_new(vec![2, 0, 1]).unwrap();
+        let v = serde::Serialize::serialize(&p);
+        let back: Permutation = serde::Deserialize::deserialize(&v).unwrap();
+        assert_eq!(p, back);
+        // A non-bijective array must be rejected at deserialization time.
+        let bad = serde::Serialize::serialize(&vec![0usize, 0, 1]);
+        assert!(<Permutation as serde::Deserialize>::deserialize(&bad).is_err());
+    }
 
     #[test]
     fn identity_is_identity() {

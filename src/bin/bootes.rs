@@ -20,6 +20,10 @@
 //! - `--threads N` — worker threads for the parallel kernels (default: all
 //!   cores; `BOOTES_THREADS=N` in the environment works too). Results are
 //!   bit-identical for any thread count,
+//! - `--cache-dir DIR` / `--cache-mem-mb MB` / `--cache-warm-start` /
+//!   `--no-cache` — the content-addressed preprocessing artifact cache
+//!   (permutations, Ritz pairs and model verdicts keyed on the sparsity
+//!   pattern; on by default as a memory-only store),
 //! - `--profile` — enable span/metric collection and print a profile table to
 //!   stderr on exit (equivalently, set `BOOTES_PROFILE=1`),
 //! - `--profile-out FILE.json` — also write the profile as JSON,
@@ -91,6 +95,13 @@ global flags (any subcommand):
                           instead of running long
   --mem-budget-mb MB      explicit-accounting memory budget for preprocessing;
                           on exhaustion the reorderer degrades likewise
+  --cache-dir DIR         persist preprocessing artifacts (permutations, Ritz
+                          pairs, model verdicts) in DIR and reuse them across
+                          runs on matrices with a recurring sparsity pattern
+  --cache-mem-mb MB       in-memory artifact cache ceiling (default: 256)
+  --cache-warm-start      seed eigensolves from cached same-pattern Ritz pairs
+                          (faster on near-identical inputs; not bit-stable)
+  --no-cache              disable the artifact cache entirely
   --no-fallback           disable the graceful-degradation chain: a failed or
                           over-budget spectral reorder becomes a hard error
   --profile               collect spans/metrics, print profile table to stderr
@@ -117,6 +128,10 @@ impl ProfileOpts {
         let mut profile_out = None;
         let mut trace_out = None;
         let mut no_fallback = false;
+        let mut use_cache = true;
+        let mut cache_dir: Option<String> = None;
+        let mut cache_mem_mb: u64 = 256;
+        let mut cache_warm = false;
         let mut budget = bootes::guard::Budget::unlimited();
         let mut i = 0;
         while i < args.len() {
@@ -128,6 +143,31 @@ impl ProfileOpts {
                 "--no-fallback" => {
                     no_fallback = true;
                     args.remove(i);
+                }
+                "--no-cache" => {
+                    use_cache = false;
+                    args.remove(i);
+                }
+                "--cache-warm-start" => {
+                    cache_warm = true;
+                    args.remove(i);
+                }
+                "--cache-dir" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("--cache-dir needs a directory argument".to_string());
+                    }
+                    cache_dir = Some(args.remove(i));
+                }
+                "--cache-mem-mb" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("--cache-mem-mb needs a value argument".to_string());
+                    }
+                    let value = args.remove(i);
+                    cache_mem_mb = value
+                        .parse()
+                        .map_err(|e| format!("bad --cache-mem-mb value {value:?}: {e}"))?;
                 }
                 "--time-budget-ms" | "--mem-budget-mb" => {
                     let flag = args.remove(i);
@@ -177,6 +217,17 @@ impl ProfileOpts {
             enabled = true;
         }
         enabled |= bootes::obs::init_from_env();
+        if use_cache {
+            let mut cfg =
+                bootes::cache::CacheConfig::memory_only(cache_mem_mb.saturating_mul(1024 * 1024))
+                    .with_warm_start(cache_warm);
+            if let Some(dir) = cache_dir {
+                cfg = cfg.with_dir(dir);
+            }
+            let cache = bootes::cache::Cache::new(cfg)
+                .map_err(|e| format!("failed to open artifact cache: {e}"))?;
+            bootes::cache::install(cache);
+        }
         let armed = if budget.is_unlimited() {
             None
         } else {

@@ -1,0 +1,199 @@
+//! Differential tests of the artifact cache: a cached (warm) preprocessing
+//! run must be **bit-identical** to an uncached (cold) one — same
+//! permutation, same decision, and byte-identical canonical stats JSON —
+//! whether the hit is served from memory or from a disk reload, and under
+//! both serial and multi-threaded kernels.
+//!
+//! The cache under test is the process-global instance, so every test in
+//! this binary serializes on one mutex; test binaries are separate
+//! processes, so no other suite can observe the installed cache.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+use bootes::cache::{self, Artifact, ArtifactKind, Cache, CacheConfig, CacheKey, DecisionArtifact};
+use bootes::core::{BootesConfig, BootesPipeline, Label, PipelineOutcome, FEATURE_NAMES};
+use bootes::model::{Dataset, DecisionTree, TreeConfig};
+use bootes::sparse::{CooMatrix, CsrMatrix};
+use proptest::prelude::*;
+
+static GLOBAL_CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_global() -> MutexGuard<'static, ()> {
+    match GLOBAL_CACHE_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Unique on-disk cache root per call, under the target-adjacent temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "bootes-cache-equiv-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+/// The deterministic in-test decision tree: NoReorder for dense matrices,
+/// k = 4 otherwise (same construction as the pipeline unit tests).
+fn toy_model() -> DecisionTree {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..20 {
+        let dense = i % 2 == 0;
+        let mut f = vec![3.0; FEATURE_NAMES.len()];
+        f[2] = if dense { 0.9 } else { 0.001 };
+        x.push(f);
+        y.push(if dense { 0 } else { 2 });
+    }
+    let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    let ds = Dataset::new(x, y, names, Label::N_CLASSES).expect("valid toy dataset");
+    DecisionTree::fit(&ds, &TreeConfig::default()).expect("toy tree fits")
+}
+
+/// Canonical stats JSON: wall clock and hit marker stripped, everything else
+/// byte-exact.
+fn canon_json(out: &PipelineOutcome) -> String {
+    serde_json::to_string(&out.stats.canonical()).expect("stats serialize")
+}
+
+/// Runs the pipeline cold (no cache), then cached (populate, memory hit,
+/// disk reload) and asserts all four outcomes are equivalent.
+fn assert_cold_warm_disk_equivalent(a: &CsrMatrix, threads: usize) {
+    bootes::par::set_threads(threads);
+    cache::uninstall();
+    let pipeline = BootesPipeline::new(toy_model(), BootesConfig::default()).expect("valid model");
+
+    let cold = pipeline.preprocess(a).expect("cold run");
+    assert!(!cold.stats.cache_hit);
+
+    let dir = scratch_dir("equiv");
+    let cfg = || CacheConfig::memory_only(64 << 20).with_dir(&dir);
+    cache::install(Cache::new(cfg()).expect("cache opens"));
+
+    // First cached run computes everything (a miss) and must already be
+    // bit-identical to the uncached run.
+    let populate = pipeline.preprocess(a).expect("populate run");
+    assert!(!populate.stats.cache_hit, "empty cache cannot hit");
+    assert_eq!(populate.permutation, cold.permutation);
+    assert_eq!(populate.decision, cold.decision);
+    assert_eq!(canon_json(&populate), canon_json(&cold));
+
+    // Second cached run is a memory hit.
+    let hit = pipeline.preprocess(a).expect("hit run");
+    assert!(hit.stats.cache_hit, "second run must hit");
+    assert_eq!(hit.permutation, cold.permutation);
+    assert_eq!(hit.decision, cold.decision);
+    assert_eq!(canon_json(&hit), canon_json(&cold));
+
+    // Fresh cache over the same directory: the hit comes from disk.
+    cache::install(Cache::new(cfg()).expect("cache reopens"));
+    let disk = pipeline.preprocess(a).expect("disk run");
+    assert!(disk.stats.cache_hit, "disk reload must hit");
+    assert_eq!(disk.permutation, cold.permutation);
+    assert_eq!(disk.decision, cold.decision);
+    assert_eq!(canon_json(&disk), canon_json(&cold));
+
+    cache::uninstall();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Strategy: a square sparse matrix sized so the full pipeline stays cheap.
+fn square_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    (4..max_dim).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, 0.5f64..5.0), 0..max_nnz).prop_map(move |trips| {
+            let mut coo = CooMatrix::new(n, n);
+            for (i, j, v) in trips {
+                coo.push(i, j, v).expect("in range by construction");
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// cold ≡ warm(memory hit) ≡ disk-reloaded, serial and 4-thread.
+    #[test]
+    fn cold_warm_disk_equivalent(a in square_matrix(28, 120)) {
+        let _guard = lock_global();
+        for threads in [1usize, 4] {
+            assert_cold_warm_disk_equivalent(&a, threads);
+        }
+        bootes::par::set_threads(1);
+    }
+}
+
+/// The same differential check on a realistic checked-in fixture (the one
+/// the golden suite also locks), where the reorder branch is guaranteed.
+#[test]
+fn fixture_cold_warm_disk_equivalent() {
+    let _guard = lock_global();
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/clustered_96.mtx");
+    let file = std::fs::File::open(&path).expect("fixture exists");
+    let a = bootes::sparse::io::read_matrix_market(std::io::BufReader::new(file))
+        .expect("valid fixture");
+    for threads in [1usize, 4] {
+        assert_cold_warm_disk_equivalent(&a, threads);
+    }
+    bootes::par::set_threads(1);
+}
+
+/// A corrupted on-disk entry must quarantine (not panic, not deserialize
+/// garbage) and report a miss, and the entry must vanish from the store dir.
+#[test]
+fn corrupt_disk_entry_is_quarantined_and_missed() {
+    let _guard = lock_global();
+    cache::uninstall();
+    let dir = scratch_dir("corrupt");
+    let key = CacheKey {
+        kind: ArtifactKind::Decision,
+        pattern: 0xFEED,
+        config: 0xBEEF,
+    };
+    {
+        let cache =
+            Cache::new(CacheConfig::memory_only(1 << 20).with_dir(&dir)).expect("cache opens");
+        cache.put(
+            key,
+            Artifact::Decision(DecisionArtifact {
+                features: vec![1.0, 2.0, 3.0],
+                class: 2,
+            }),
+        );
+    }
+    let entry = dir.join(key.file_name());
+    assert!(entry.is_file(), "entry persisted");
+    std::fs::write(&entry, b"{\"kind\":\"decision\",\"data\":").expect("truncate entry");
+
+    let cache = Cache::new(CacheConfig::memory_only(1 << 20).with_dir(&dir)).expect("reopen");
+    assert_eq!(cache.get(&key), None, "corrupt entry must read as a miss");
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses), (0, 1));
+    assert!(!entry.exists(), "corrupt entry must leave the store");
+    let quarantined = dir
+        .join(bootes::cache::QUARANTINE_DIR)
+        .join(key.file_name());
+    assert!(
+        quarantined.is_file(),
+        "corrupt entry must land in quarantine/"
+    );
+    // A later valid write under the same key recovers transparently.
+    cache.put(
+        key,
+        Artifact::Decision(DecisionArtifact {
+            features: vec![1.0],
+            class: 0,
+        }),
+    );
+    let reopened =
+        Cache::new(CacheConfig::memory_only(1 << 20).with_dir(&dir)).expect("reopen again");
+    assert!(matches!(
+        reopened.get(&key),
+        Some(Artifact::Decision(d)) if d.class == 0
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}

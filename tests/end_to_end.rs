@@ -228,3 +228,111 @@ fn analyze_profile_flag_emits_valid_json_profile() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Golden snapshots: full-pipeline output on the checked-in fixtures under
+// tests/fixtures/. Each snapshot captures the decision class, chosen k, the
+// permutation, and the canonical (clock-stripped) ReorderStats JSON, so any
+// unintended change to feature extraction, the eigensolver, k-means, or the
+// ordering heuristics shows up as a diff against the .golden file. Regenerate
+// deliberately with BOOTES_BLESS=1.
+// ---------------------------------------------------------------------------
+
+mod golden {
+    use bootes::core::{BootesConfig, BootesPipeline, Label, FEATURE_NAMES};
+    use bootes::model::{Dataset, DecisionTree, TreeConfig};
+    use bootes::sparse::io::read_matrix_market;
+    use bootes::sparse::MatrixFingerprint;
+    use serde::Serialize as _;
+    use std::path::PathBuf;
+
+    fn fixture_dir() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+    }
+
+    /// The deterministic in-test decision tree (same construction as the
+    /// pipeline unit tests): NoReorder for dense matrices, k = 4 otherwise.
+    fn toy_model() -> DecisionTree {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let dense = i % 2 == 0;
+            let mut f = vec![3.0; FEATURE_NAMES.len()];
+            f[2] = if dense { 0.9 } else { 0.001 };
+            x.push(f);
+            y.push(if dense { 0 } else { 2 });
+        }
+        let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+        let ds = Dataset::new(x, y, names, Label::N_CLASSES).expect("valid toy dataset");
+        DecisionTree::fit(&ds, &TreeConfig::default()).expect("toy tree fits")
+    }
+
+    fn golden_snapshot(name: &str) -> String {
+        let path = fixture_dir().join(format!("{name}.mtx"));
+        let file = std::fs::File::open(&path)
+            .unwrap_or_else(|e| panic!("open fixture {}: {e}", path.display()));
+        let a = read_matrix_market(std::io::BufReader::new(file)).expect("valid fixture");
+        let fp = MatrixFingerprint::of(&a);
+        let pipeline =
+            BootesPipeline::new(toy_model(), BootesConfig::default()).expect("valid model");
+        let out = pipeline
+            .preprocess(&a)
+            .expect("pipeline succeeds on fixtures");
+        let class = out.decision.label.to_class().expect("valid label") as u64;
+        let value = serde::Value::Object(vec![
+            ("fixture".to_string(), serde::Value::Str(name.to_string())),
+            (
+                "pattern".to_string(),
+                serde::Value::Str(format!("{:016x}", fp.pattern)),
+            ),
+            ("class".to_string(), serde::Value::UInt(class)),
+            (
+                "k".to_string(),
+                out.decision
+                    .k()
+                    .map_or(serde::Value::Null, |k| serde::Value::UInt(k as u64)),
+            ),
+            ("permutation".to_string(), out.permutation.serialize()),
+            ("stats".to_string(), out.stats.canonical().serialize()),
+        ]);
+        serde_json::to_string(&value).expect("snapshot serializes")
+    }
+
+    fn check_golden(name: &str) {
+        let got = golden_snapshot(name);
+        let golden_path = fixture_dir().join(format!("{name}.golden"));
+        if std::env::var("BOOTES_BLESS").is_ok_and(|v| v == "1") {
+            std::fs::write(&golden_path, format!("{got}\n"))
+                .unwrap_or_else(|e| panic!("bless {}: {e}", golden_path.display()));
+            return;
+        }
+        let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run `BOOTES_BLESS=1 cargo test` to create it",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            want.trim_end(),
+            got,
+            "pipeline output for fixture {name} diverged from {}; if the change is \
+             intended, regenerate with `BOOTES_BLESS=1 cargo test`",
+            golden_path.display()
+        );
+    }
+
+    #[test]
+    fn golden_clustered_96() {
+        check_golden("clustered_96");
+    }
+
+    #[test]
+    fn golden_banded_64() {
+        check_golden("banded_64");
+    }
+
+    #[test]
+    fn golden_dense_16() {
+        check_golden("dense_16");
+    }
+}

@@ -225,3 +225,70 @@ proptest! {
         prop_assert_eq!(back, a);
     }
 }
+
+// Fingerprint properties backing the artifact cache's content addressing:
+// the pattern key must ignore values, react to any structural change, and
+// survive serialization, or the cache would serve wrong (or miss valid)
+// artifacts.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Permuting rows changes the pattern hash whenever it changes the
+    /// matrix (FNV is not order-free), and never when it does not.
+    #[test]
+    fn fingerprint_is_permutation_sensitive(a in square_matrix(16, 50), rot in 1usize..8) {
+        use bootes::sparse::MatrixFingerprint;
+        let n = a.nrows();
+        let p = Permutation::try_new((0..n).map(|i| (i + rot % n) % n).collect())
+            .expect("rotation is a bijection");
+        let b = p.apply_rows(&a).expect("square");
+        let fa = MatrixFingerprint::of(&a);
+        let fb = MatrixFingerprint::of(&b);
+        if a == b {
+            prop_assert_eq!(fa, fb);
+        } else if (0..n).all(|r| a.row(r).0 == b.row(r).0) {
+            // Same pattern, values moved: pattern hash agrees, value hash not.
+            prop_assert_eq!(fa.pattern, fb.pattern);
+            prop_assert_ne!(fa.values, fb.values);
+        } else {
+            prop_assert_ne!(fa.pattern, fb.pattern);
+        }
+    }
+
+    /// Scaling values leaves the pattern key untouched but moves the value
+    /// hash — the invariant that lets pattern-only consumers (everything in
+    /// the preprocessing pipeline) share cache entries across value updates.
+    #[test]
+    fn fingerprint_pattern_is_value_insensitive(a in square_matrix(16, 50)) {
+        use bootes::sparse::{CooMatrix, MatrixFingerprint};
+        let mut coo = CooMatrix::new(a.nrows(), a.ncols());
+        for r in 0..a.nrows() {
+            let (cols, vals) = a.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(r, c, v * 3.0 + 1.0).expect("in range");
+            }
+        }
+        let scaled = coo.to_csr();
+        let fa = MatrixFingerprint::of(&a);
+        let fs = MatrixFingerprint::of(&scaled);
+        prop_assert_eq!(fa.pattern, fs.pattern);
+        prop_assert_eq!(fa.nnz, fs.nnz);
+        if a.nnz() > 0 {
+            prop_assert_ne!(fa.values, fs.values);
+        }
+    }
+
+    /// The fingerprint is a function of the logical matrix, not its
+    /// in-memory or on-disk encoding: a Matrix Market round trip (and a COO
+    /// rebuild with shuffled triplet order) preserves both hashes.
+    #[test]
+    fn fingerprint_is_serialization_stable(a in sparse_matrix(16, 40)) {
+        use bootes::sparse::MatrixFingerprint;
+        let fa = MatrixFingerprint::of(&a);
+        let mut buf = Vec::new();
+        bootes::sparse::io::write_matrix_market(&mut buf, &a).expect("write");
+        let back = bootes::sparse::io::read_matrix_market(buf.as_slice()).expect("read");
+        prop_assert_eq!(fa, MatrixFingerprint::of(&back));
+        prop_assert_eq!(fa, MatrixFingerprint::of(&a.clone()));
+    }
+}
