@@ -1,12 +1,17 @@
-//! Parallel-kernel speedup measurement for `bootes-par`.
+//! Parallel-kernel speedup sweep for `bootes-par`.
 //!
-//! Times serial (`threads = 1`) against parallel (`--threads` /
-//! `BOOTES_THREADS`, default all cores) SpGEMM on a clustered matrix of
-//! ~`BOOTES_PAR_NNZ` nonzeros (default 1e6), verifies the outputs are
-//! bit-identical, and writes `results/par_speedup.json`. On a >= 4-core
-//! machine the dense-accumulator kernel is expected to reach >= 2x.
-
-use std::time::Instant;
+//! Sweeps the SpGEMM kernels over threads ∈ {1, 2, 4, 8} on a clustered
+//! matrix of ~`BOOTES_PAR_NNZ` nonzeros (default 1e6), verifies every
+//! parallel output is bit-identical to the serial one, and writes
+//! `results/par_speedup.json` with each row carrying the per-region
+//! load-balance attribution (`par.region.imbalance` = max/mean worker busy
+//! time, `par.region.utilization` = Σ busy / (workers × wall)) collected by
+//! the `bootes-obs` worker-chunk timeline.
+//!
+//! Timing routes through the [`bootes_perf::Runner`] (warmup + repeats,
+//! median/MAD, environment capture), appends every run to
+//! `results/history/par_speedup.jsonl`, and blesses
+//! `results/baselines/par_speedup.json` under `BOOTES_BLESS_PERF=1`.
 
 use bootes_bench::results_dir;
 use bootes_bench::table::{f2, save_json, Table};
@@ -16,51 +21,59 @@ use bootes_workloads::gen::{clustered_with_density, GenConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
-struct KernelResult {
+struct SweepRow {
     kernel: String,
     nnz: usize,
     threads: usize,
-    serial_ms: f64,
-    par_ms: f64,
+    median_ms: f64,
+    mad_ms: f64,
+    min_ms: f64,
     speedup: f64,
+    imbalance: f64,
+    utilization: f64,
 }
 
-/// Smallest wall time over `reps` runs, after one warmup run.
-fn time_min_ms(reps: usize, mut f: impl FnMut() -> CsrMatrix) -> (f64, CsrMatrix) {
-    let out = f();
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t = Instant::now();
-        let c = f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
-        assert_eq!(c.nnz(), out.nnz(), "nondeterministic kernel output");
-    }
-    (best, out)
+/// Reads one `name{label=value}` gauge from the current profile snapshot.
+fn gauge(name: &str) -> f64 {
+    bootes_obs::snapshot()
+        .gauges
+        .iter()
+        .find(|g| g.name == name)
+        .map_or(0.0, |g| g.value)
 }
 
 fn main() {
-    bootes_bench::init_profiling();
+    let was_profiling = bootes_bench::init_profiling();
     let target_nnz: usize = std::env::var("BOOTES_PAR_NNZ")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000_000);
-    let threads = bootes_par::threads();
     // ~64 nnz per row keeps the flop count proportional to nnz.
     let n = (target_nnz / 64).max(64);
     let density = 64.0 / n as f64;
     let a = clustered_with_density(&GenConfig::new(n, n).seed(0x0B007E5), 8, 0.9, density)
         .expect("valid generator parameters");
     let b = a.clone();
+    let sweep = [1usize, 2, 4, 8];
     println!(
-        "par_speedup: {} x {} matrix, {} nnz, {} thread(s)",
+        "par_speedup: {} x {} matrix, {} nnz, sweeping threads {:?} on {} cpu(s)",
         n,
         n,
         a.nnz(),
-        threads
+        sweep,
+        bootes_par::available()
     );
 
-    let mut table = Table::new(["kernel", "serial ms", "par ms", "speedup"]);
-    let mut results = Vec::new();
+    let mut runner = bootes_perf::Runner::new("par_speedup");
+    let mut table = Table::new([
+        "kernel",
+        "threads",
+        "median ms",
+        "speedup",
+        "imbalance",
+        "util",
+    ]);
+    let mut results: Vec<SweepRow> = Vec::new();
     type Kernel =
         fn(&CsrMatrix, &CsrMatrix, usize) -> Result<CsrMatrix, bootes_sparse::SparseError>;
     let kernels: [(&str, Kernel); 2] = [
@@ -68,26 +81,64 @@ fn main() {
         ("spgemm.hash_acc", |a, b, t| par_spgemm_hash(a, b, t)),
     ];
     for (name, kernel) in kernels {
-        let (serial_ms, c_serial) = time_min_ms(3, || kernel(&a, &b, 1).expect("valid operands"));
-        let (par_ms, c_par) = time_min_ms(3, || kernel(&a, &b, threads).expect("valid operands"));
-        assert_eq!(
-            c_serial, c_par,
-            "{name}: parallel output differs from serial"
-        );
-        let speedup = serial_ms / par_ms;
-        table.row([name.to_string(), f2(serial_ms), f2(par_ms), f2(speedup)]);
-        results.push(KernelResult {
-            kernel: name.to_string(),
-            nnz: a.nnz(),
-            threads,
-            serial_ms,
-            par_ms,
-            speedup,
-        });
+        let reference = kernel(&a, &b, 1).expect("valid operands");
+        let mut serial_median_ms = f64::NAN;
+        for t in sweep {
+            // Attribution rides on the profiling registry: reset so each
+            // row's imbalance/utilization gauges reflect only its own runs.
+            bootes_obs::set_enabled(true);
+            bootes_obs::reset();
+            let m = runner.measure(&format!("{name}/t{t}"), || {
+                let c = kernel(&a, &b, t).expect("valid operands");
+                assert_eq!(c, reference, "{name}: t={t} output differs from serial");
+                c.nnz()
+            });
+            let (median_ms, mad_ms, min_ms) = (
+                m.summary.median / 1e6,
+                m.summary.mad / 1e6,
+                m.summary.min / 1e6,
+            );
+            let imbalance = gauge(&format!("par.region.imbalance{{region={name}}}"));
+            let utilization = gauge(&format!("par.region.utilization{{region={name}}}"));
+            if t == 1 {
+                serial_median_ms = median_ms;
+            }
+            let speedup = serial_median_ms / median_ms;
+            table.row([
+                name.to_string(),
+                t.to_string(),
+                f2(median_ms),
+                f2(speedup),
+                f2(imbalance),
+                f2(utilization),
+            ]);
+            results.push(SweepRow {
+                kernel: name.to_string(),
+                nnz: a.nnz(),
+                threads: t,
+                median_ms,
+                mad_ms,
+                min_ms,
+                speedup,
+                imbalance,
+                utilization,
+            });
+        }
     }
-    table.print("Parallel SpGEMM speedup (bit-identical outputs)");
-    if threads < 4 {
-        println!("note: only {threads} thread(s) available; >= 2x expects >= 4 cores");
+    table.print("Parallel SpGEMM sweep (bit-identical outputs; speedup vs t=1 median)");
+    if bootes_par::available() < 4 {
+        println!(
+            "note: only {} cpu(s) available; thread counts above that are oversubscribed",
+            bootes_par::available()
+        );
+    }
+    if !was_profiling {
+        // Profiling was only enabled for attribution; write bare results.
+        bootes_obs::set_enabled(false);
+        bootes_obs::reset();
     }
     save_json(&results_dir(), "par_speedup.json", &results);
+    runner
+        .finish(&results_dir())
+        .expect("append par_speedup history");
 }

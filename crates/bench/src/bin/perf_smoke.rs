@@ -1,0 +1,87 @@
+//! Quick perf smoke suite — the workload behind the CI perf gate.
+//!
+//! Measures the hot kernels (SpGEMM dense/hash accumulator, SpMV,
+//! similarity, k-means assignment via the pipeline's clustering step) on
+//! small fixed inputs through the [`bootes_perf::Runner`] (warmup + repeats,
+//! median/MAD), appends the run to `results/history/perf_smoke.jsonl`, and
+//! blesses `results/baselines/perf_smoke.json` when `BOOTES_BLESS_PERF=1`.
+//! `bootes perf diff` then gates later runs against the blessed medians with
+//! noise-aware (MAD-scaled) thresholds.
+//!
+//! Sized to finish in a few seconds: the gate's job is catching order-of-
+//! allowance regressions in kernels, not reproducing paper figures.
+
+use bootes_bench::results_dir;
+use bootes_linalg::{kmeans_threads, KMeansConfig};
+use bootes_sparse::ops::{par_similarity_matrix, par_spgemm, par_spgemm_hash};
+use bootes_sparse::DenseMatrix;
+use bootes_workloads::gen::{clustered_with_density, GenConfig};
+
+fn main() {
+    bootes_bench::init_profiling();
+    let threads = bootes_par::threads();
+    let nnz_target: usize = std::env::var("BOOTES_PAR_NNZ")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let n = (nnz_target / 32).max(128);
+    let density = 32.0 / n as f64;
+    let a = clustered_with_density(&GenConfig::new(n, n).seed(0x540CE), 8, 0.9, density)
+        .expect("valid generator parameters");
+    println!(
+        "perf_smoke: {} x {} matrix, {} nnz, {} thread(s)",
+        n,
+        n,
+        a.nnz(),
+        threads
+    );
+
+    let mut runner = bootes_perf::Runner::new("perf_smoke");
+
+    runner.measure(&format!("spgemm_dense/t{threads}"), || {
+        par_spgemm(&a, &a, threads).expect("valid operands").nnz()
+    });
+    runner.measure(&format!("spgemm_hash/t{threads}"), || {
+        par_spgemm_hash(&a, &a, threads)
+            .expect("valid operands")
+            .nnz()
+    });
+    runner.measure(&format!("similarity/t{threads}"), || {
+        par_similarity_matrix(&a, threads).nnz()
+    });
+    let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64 - 8.0).collect();
+    let mut y = vec![0.0; n];
+    runner.measure(&format!("spmv/t{threads}"), || {
+        a.par_matvec_into(&x, &mut y, threads);
+        y[0]
+    });
+    // K-means assignment over a modest point set (d=8, k=8).
+    let pts: Vec<f64> = (0..(1024 * 8))
+        .map(|i| ((i * 2_654_435_761usize) % 1000) as f64 / 1000.0)
+        .collect();
+    let points = DenseMatrix::from_rows(1024, 8, pts);
+    let cfg = KMeansConfig {
+        n_init: 2,
+        max_iter: 20,
+        ..KMeansConfig::default()
+    };
+    runner.measure(&format!("kmeans/t{threads}"), || {
+        kmeans_threads(&points, 8, &cfg, threads)
+            .expect("valid kmeans input")
+            .inertia
+    });
+
+    for m in runner
+        .finish(&results_dir())
+        .expect("append perf_smoke history")
+    {
+        println!(
+            "  {:<22} {}",
+            m.case,
+            bootes_perf::runner::fmt_summary_ns(&m.summary)
+        );
+    }
+    if bootes_perf::blessing() {
+        println!("[blessed results/baselines/perf_smoke.json]");
+    }
+}

@@ -253,15 +253,11 @@ fn model_path(accel_name: &str) -> PathBuf {
 }
 
 /// Directory where harness outputs are written (`results/` at the workspace
-/// root, overridable with `BOOTES_RESULTS`).
+/// root, overridable with `BOOTES_RESULTS`). Delegates to
+/// [`bootes_perf::results_dir`] so benches, baselines, and the perf history
+/// ledger agree on one root.
 pub fn results_dir() -> PathBuf {
-    if let Ok(dir) = std::env::var("BOOTES_RESULTS") {
-        return PathBuf::from(dir);
-    }
-    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("results")
+    bootes_perf::results_dir()
 }
 
 /// Trains (or loads from cache) the decision tree for one accelerator,

@@ -131,7 +131,7 @@ pub fn kmeans_threads(
     // of the budget to the per-run assignment step without oversubscribing.
     let outer = threads.min(n_init);
     let inner = (threads / outer).max(1);
-    let runs = bootes_par::try_map_indices(outer, n_init, |init| {
+    let runs = bootes_par::try_map_indices_in("kmeans.run", outer, n_init, |init| {
         let _run_span = bootes_obs::span!("kmeans.run");
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(init as u64));
         let run = lloyd(points, k, cfg, &mut rng, inner)?;
@@ -245,9 +245,22 @@ fn assign_all(
     threads: usize,
 ) -> Result<(), LinalgError> {
     let ranges = bootes_par::partition_even(points.nrows(), threads);
-    let chunks =
-        bootes_par::try_map_ranges(threads, &ranges, |_, r| assign_chunk(points, centroids, r))
-            .map_err(LinalgError::from)?;
+    if bootes_obs::enabled() {
+        // One squared-distance per (point, centroid) pair: d multiplies, d
+        // subtracts, d adds; traffic reads each point row once per centroid
+        // plus the centroid rows, and writes one label + distance per point.
+        let (n, d) = (points.nrows() as u64, points.ncols() as u64);
+        let k = centroids.nrows() as u64;
+        bootes_obs::counter_add("kernel.flops{kernel=kmeans.assign}", 3 * n * k * d);
+        bootes_obs::counter_add(
+            "kernel.bytes{kernel=kmeans.assign}",
+            8 * (n * k * d + k * d + 2 * n),
+        );
+    }
+    let chunks = bootes_par::try_map_ranges_in("kmeans.assign", threads, &ranges, |_, r| {
+        assign_chunk(points, centroids, r)
+    })
+    .map_err(LinalgError::from)?;
     let mut at = 0usize;
     for (chunk_labels, chunk_dists) in chunks {
         labels[at..at + chunk_labels.len()].copy_from_slice(&chunk_labels);

@@ -85,32 +85,100 @@ pub fn export_json(profile: &Profile) -> String {
     serde_json::to_string_pretty(profile).expect("profile serializes")
 }
 
-/// Exports the raw span records in Chrome trace-event JSON: an object with a
-/// `traceEvents` array of complete (`"ph": "X"`) events whose `ts`/`dur` are
-/// microseconds from the profile epoch.
+/// One Chrome metadata event (`"ph": "M"`) naming a process or thread.
+fn metadata_event(name: &str, tid: Option<u64>, value: &str) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("ph".to_string(), Value::Str("M".to_string())),
+        ("pid".to_string(), Value::UInt(1)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".to_string(), Value::UInt(tid)));
+    }
+    fields.push((
+        "args".to_string(),
+        Value::Object(vec![("name".to_string(), Value::Str(value.to_string()))]),
+    ));
+    Value::Object(fields)
+}
+
+/// Exports the raw span and worker-chunk records in Chrome trace-event JSON:
+/// an object with a `traceEvents` array of complete (`"ph": "X"`) events
+/// whose `ts`/`dur` are microseconds from the profile epoch, preceded by
+/// `process_name`/`thread_name` metadata events so Perfetto shows one
+/// labeled lane per worker (`worker-0`, `worker-1`, ...) instead of a merged
+/// track. Worker lanes use the stable tids pinned by
+/// [`crate::pin_worker_tid`]; every other thread keeps its dense id and is
+/// labeled `main` (tid 0) or `thread-N`.
 pub fn export_chrome_trace() -> String {
     let reg = registry();
+    let mut events: Vec<Value> = Vec::new();
+
+    // Metadata first: process name, then one thread_name per tid seen in
+    // either record stream (explicit worker names win).
+    let names = reg.thread_names.lock().unwrap().clone();
     let records = reg.spans.lock().unwrap();
-    let events: Vec<Value> = records
+    let chunks = reg.chunks.lock().unwrap();
+    let mut tids: Vec<u64> = records
         .iter()
-        .map(|r| {
-            let name = r.path.rsplit('/').next().unwrap_or(&r.path);
-            Value::Object(vec![
-                ("name".to_string(), Value::Str(name.to_string())),
-                ("cat".to_string(), Value::Str("bootes".to_string())),
-                ("ph".to_string(), Value::Str("X".to_string())),
-                ("ts".to_string(), Value::Float(r.start_ns as f64 / 1e3)),
-                ("dur".to_string(), Value::Float(r.dur_ns as f64 / 1e3)),
-                ("pid".to_string(), Value::UInt(1)),
-                ("tid".to_string(), Value::UInt(r.tid)),
-                (
-                    "args".to_string(),
-                    Value::Object(vec![("path".to_string(), Value::Str(r.path.clone()))]),
-                ),
-            ])
-        })
+        .map(|r| r.tid)
+        .chain(chunks.iter().map(|c| c.tid))
+        .chain(names.keys().copied())
         .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    events.push(metadata_event("process_name", None, "bootes"));
+    for tid in tids {
+        let label = match names.get(&tid) {
+            Some(name) => name.clone(),
+            None if tid == 0 => "main".to_string(),
+            None => format!("thread-{tid}"),
+        };
+        events.push(metadata_event("thread_name", Some(tid), &label));
+    }
+
+    events.extend(records.iter().map(|r| {
+        let name = r.path.rsplit('/').next().unwrap_or(&r.path);
+        Value::Object(vec![
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("cat".to_string(), Value::Str("bootes".to_string())),
+            ("ph".to_string(), Value::Str("X".to_string())),
+            ("ts".to_string(), Value::Float(r.start_ns as f64 / 1e3)),
+            ("dur".to_string(), Value::Float(r.dur_ns as f64 / 1e3)),
+            ("pid".to_string(), Value::UInt(1)),
+            ("tid".to_string(), Value::UInt(r.tid)),
+            (
+                "args".to_string(),
+                Value::Object(vec![("path".to_string(), Value::Str(r.path.clone()))]),
+            ),
+        ])
+    }));
+    // Worker chunks as their own complete events in the worker lanes, so the
+    // trace shows which rows each worker processed and for how long.
+    events.extend(chunks.iter().map(|c| {
+        Value::Object(vec![
+            ("name".to_string(), Value::Str(c.region.clone())),
+            ("cat".to_string(), Value::Str("bootes.par".to_string())),
+            ("ph".to_string(), Value::Str("X".to_string())),
+            ("ts".to_string(), Value::Float(c.start_ns as f64 / 1e3)),
+            ("dur".to_string(), Value::Float(c.dur_ns as f64 / 1e3)),
+            ("pid".to_string(), Value::UInt(1)),
+            ("tid".to_string(), Value::UInt(c.tid)),
+            (
+                "args".to_string(),
+                Value::Object(vec![
+                    ("chunk".to_string(), Value::UInt(c.chunk as u64)),
+                    (
+                        "range".to_string(),
+                        Value::Str(format!("{}..{}", c.range.start, c.range.end)),
+                    ),
+                    ("weight".to_string(), Value::UInt(c.weight)),
+                ]),
+            ),
+        ])
+    }));
     drop(records);
+    drop(chunks);
     let trace = Value::Object(vec![
         ("traceEvents".to_string(), Value::Array(events)),
         ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),

@@ -45,6 +45,12 @@
 //! | `par.worker` | `bootes-par` — one worker thread's share of a parallel kernel |
 //! | `reorder.fallback` | `bootes-core` — one pass of the graceful-degradation chain |
 //!
+//! Parallel regions additionally record **worker-chunk events** (region,
+//! worker lane, chunk index, row range, weight, wall-ns) via
+//! [`record_worker_chunk`]; these appear as per-worker lanes in the Chrome
+//! trace and are aggregated by `bootes-par` into the `par.region.*` metrics
+//! below.
+//!
 //! Counters:
 //!
 //! | counter | meaning |
@@ -64,6 +70,15 @@
 //! | `cache.miss` | artifact-cache lookups that found nothing valid |
 //! | `cache.evict` | entries evicted from the in-memory LRU (incl. oversized rejects) |
 //! | `cache.quarantine` | corrupt on-disk entries moved to `quarantine/` |
+//! | `kernel.flops{kernel=<name>}` | scalar multiply-accumulates performed by the named kernel (`spgemm.dense_acc`, `spgemm.hash_acc`, `similarity.rows`, `spmv`, `kmeans.assign`) |
+//! | `kernel.bytes{kernel=<name>}` | estimated bytes moved (operand reads + output writes) by the named kernel |
+//! | `par.region.wall_ns{region=<name>}` | accumulated wall time of the named parallel region across invocations (`bootes-par`) |
+//! | `par.region.busy_ns{region=<name>}` | accumulated worker busy time of the named region (sum over chunks) |
+//! | `par.region.invocations` | parallel region invocations that recorded attribution |
+//!
+//! The `kernel.*` counters pair with `par.region.wall_ns` under the same
+//! name to yield achieved MFLOP/s and GB/s per kernel (see
+//! `bootes_perf::kernel_rates`).
 //!
 //! Gauges:
 //!
@@ -73,6 +88,8 @@
 //! | `kmeans.inertia` | best inertia of the last k-means call |
 //! | `pe.utilization` | busy/critical-path ratio of the last simulation |
 //! | `cache.bytes` | current byte footprint of the in-memory artifact cache |
+//! | `par.region.imbalance{region=<name>}` | max/mean worker busy time of the last invocation of the named parallel region (1.0 = perfectly balanced) |
+//! | `par.region.utilization{region=<name>}` | Σ busy / (workers × wall) of the last invocation of the named region |
 //!
 //! Histograms (log2 buckets):
 //!
@@ -80,6 +97,7 @@
 //! |-----------|---------|
 //! | `accel.pe_cycles` | per-PE cycle totals of the last simulation |
 //! | `spgemm.row_nnz` | output-row nonzero counts seen by sparse kernels |
+//! | `par.region.chunks_per_worker{region=<name>}` | chunks each worker completed per invocation of the named region |
 
 mod export;
 mod profile;
@@ -91,7 +109,10 @@ pub use profile::{
     snapshot, BucketEntry, CounterEntry, GaugeEntry, HistogramEntry, Profile, ProfileMeta,
     SpanNode, PROFILE_FORMAT_VERSION,
 };
-pub use registry::{counter_add, gauge_set, histogram_record, reset};
+pub use registry::{
+    counter_add, epoch_ns, gauge_set, histogram_record, pin_worker_tid, record_worker_chunk, reset,
+    worker_chunks, ChunkRecord,
+};
 pub use span::{SpanGuard, TimedScope};
 
 use std::sync::atomic::Ordering;
@@ -277,13 +298,85 @@ mod tests {
             .get("traceEvents")
             .and_then(serde::Value::as_array)
             .expect("traceEvents array");
-        assert_eq!(events.len(), 2);
-        for e in events {
+        let (meta, complete): (Vec<_>, Vec<_>) = events
+            .iter()
+            .partition(|e| e.get("ph").and_then(serde::Value::as_str) == Some("M"));
+        assert_eq!(complete.len(), 2);
+        for e in complete {
             assert_eq!(e.get("ph").and_then(serde::Value::as_str), Some("X"));
             assert!(e.get("ts").and_then(serde::Value::as_f64).is_some());
             assert!(e.get("dur").and_then(serde::Value::as_f64).is_some());
             assert!(e.get("name").and_then(serde::Value::as_str).is_some());
         }
+        // process_name plus one thread_name per tid (both spans ran on the
+        // recording thread).
+        assert_eq!(meta.len(), 2);
+        assert!(meta
+            .iter()
+            .any(|e| e.get("name").and_then(serde::Value::as_str) == Some("process_name")));
+        assert!(meta
+            .iter()
+            .any(|e| e.get("name").and_then(serde::Value::as_str) == Some("thread_name")));
+    }
+
+    #[test]
+    fn worker_chunks_get_labeled_stable_lanes() {
+        let trace = with_profiling(|| {
+            std::thread::scope(|scope| {
+                for slot in 0..2usize {
+                    scope.spawn(move || {
+                        let tid = pin_worker_tid(slot);
+                        assert_eq!(tid, 10_000 + slot as u64);
+                        let start = epoch_ns();
+                        record_worker_chunk("test.region", slot, slot..slot + 4, 4, start, 1000);
+                    });
+                }
+            });
+            assert_eq!(worker_chunks().len(), 2);
+            export_chrome_trace()
+        });
+        let v: serde::Value = serde_json::from_str(&trace).expect("trace parses");
+        let events = v
+            .get("traceEvents")
+            .and_then(serde::Value::as_array)
+            .expect("traceEvents array");
+        // Both worker lanes are named via thread_name metadata...
+        for slot in 0..2u64 {
+            let name = format!("worker-{slot}");
+            assert!(
+                events.iter().any(|e| {
+                    e.get("ph").and_then(serde::Value::as_str) == Some("M")
+                        && e.get("tid").and_then(serde::Value::as_u64) == Some(10_000 + slot)
+                        && e.get("args")
+                            .and_then(|a| a.get("name"))
+                            .and_then(serde::Value::as_str)
+                            == Some(name.as_str())
+                }),
+                "missing thread_name for {name}"
+            );
+        }
+        // ...and the chunk events landed in those lanes with their args.
+        let chunk_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(serde::Value::as_str) == Some("bootes.par"))
+            .collect();
+        assert_eq!(chunk_events.len(), 2);
+        for e in chunk_events {
+            assert!(e.get("tid").and_then(serde::Value::as_u64).unwrap() >= 10_000);
+            let args = e.get("args").expect("chunk args");
+            assert!(args.get("chunk").is_some());
+            assert!(args.get("range").is_some());
+            assert!(args.get("weight").is_some());
+        }
+    }
+
+    #[test]
+    fn disabled_chunk_recording_is_inert() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(false);
+        record_worker_chunk("ghost.region", 0, 0..8, 8, 0, 100);
+        assert!(worker_chunks().is_empty());
     }
 
     #[test]

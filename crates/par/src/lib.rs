@@ -24,8 +24,27 @@
 //! order-canonical (e.g. summing partial floating-point results in chunk
 //! order, or deferring the reduction to a serial pass in index order).
 //!
+//! # Per-worker attribution
+//!
 //! Worker threads record their busy time under the `par.worker` span through
 //! the `bootes-obs` registry, so profiles show per-thread utilization.
+//!
+//! The `*_in` combinator variants ([`try_map_ranges_in`],
+//! [`try_for_each_chunk_mut_in`], ...) additionally take a **region name**
+//! (conventionally the kernel's span name, e.g. `"spgemm.dense_acc"`). While
+//! profiling is enabled, every chunk is timed individually and recorded as a
+//! worker-chunk event (worker lane, chunk index, row range, weight,
+//! wall-ns), workers pin stable Perfetto lane ids (`worker-0`, `worker-1`,
+//! ...), and each region invocation aggregates:
+//!
+//! - `par.region.imbalance{region=<name>}` — max/mean worker busy time,
+//! - `par.region.utilization{region=<name>}` — Σ busy / (workers × wall),
+//! - `par.region.wall_ns` / `par.region.busy_ns{region=<name>}` counters,
+//! - a `par.region.chunks_per_worker{region=<name>}` histogram.
+//!
+//! The unnamed combinators attribute to the `"par.unnamed"` region. With
+//! profiling disabled the attribution path costs one relaxed atomic load per
+//! region — no clock reads, no allocation.
 //!
 //! # Panic isolation
 //!
@@ -43,8 +62,12 @@ use std::ops::Range;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 pub use bootes_guard::GuardError;
+
+/// Region name the unnamed combinators attribute their chunk timings to.
+pub const UNNAMED_REGION: &str = "par.unnamed";
 
 /// Explicitly configured thread count; `0` means "not set, use the default".
 static EXPLICIT: AtomicUsize = AtomicUsize::new(0);
@@ -131,6 +154,13 @@ pub fn partition_even(n: usize, parts: usize) -> Vec<Range<usize>> {
     partition_weighted(n, parts, |_| 0)
 }
 
+/// Per-worker attribution tally for one parallel region invocation.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerStats {
+    busy_ns: u64,
+    chunks: u64,
+}
+
 /// Runs one chunk closure behind the `par.worker` failpoint and a panic
 /// isolation boundary, converting both failure modes to [`GuardError`].
 fn run_chunk<R>(
@@ -148,6 +178,66 @@ fn run_chunk<R>(
             site: "par.worker".to_string(),
             message: bootes_guard::panic_message(payload.as_ref()),
         }),
+    }
+}
+
+/// [`run_chunk`] with per-chunk attribution: while profiling is enabled the
+/// chunk is timed, recorded as a worker-chunk event in the calling thread's
+/// lane, and tallied into `stats`. Inert (no clock read) while disabled.
+fn run_chunk_timed<R>(
+    region: &str,
+    i: usize,
+    range: Range<usize>,
+    f: &(impl Fn(usize, Range<usize>) -> R + Sync),
+    stats: &mut WorkerStats,
+) -> Result<R, GuardError> {
+    if !bootes_obs::enabled() {
+        return run_chunk(i, range, f);
+    }
+    let start_ns = bootes_obs::epoch_ns();
+    let started = Instant::now();
+    let weight = range.len() as u64;
+    let recorded = range.clone();
+    let res = run_chunk(i, range, f);
+    let dur_ns = started.elapsed().as_nanos() as u64;
+    stats.busy_ns += dur_ns;
+    stats.chunks += 1;
+    bootes_obs::record_worker_chunk(region, i, recorded, weight, start_ns, dur_ns);
+    res
+}
+
+/// Publishes one region invocation's aggregate attribution metrics:
+/// imbalance (max/mean busy), utilization (Σ busy / workers × wall), wall
+/// and busy time counters, and the chunks-per-worker histogram.
+fn record_region(region: &str, wall_ns: u64, workers: &[WorkerStats]) {
+    if !bootes_obs::enabled() || workers.is_empty() {
+        return;
+    }
+    let total: u64 = workers.iter().map(|w| w.busy_ns).sum();
+    let max = workers.iter().map(|w| w.busy_ns).max().unwrap_or(0);
+    let mean = total as f64 / workers.len() as f64;
+    let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+    let utilization = if wall_ns > 0 {
+        total as f64 / (workers.len() as f64 * wall_ns as f64)
+    } else {
+        0.0
+    };
+    bootes_obs::gauge_set(
+        &format!("par.region.imbalance{{region={region}}}"),
+        imbalance,
+    );
+    bootes_obs::gauge_set(
+        &format!("par.region.utilization{{region={region}}}"),
+        utilization,
+    );
+    bootes_obs::counter_add(&format!("par.region.wall_ns{{region={region}}}"), wall_ns);
+    bootes_obs::counter_add(&format!("par.region.busy_ns{{region={region}}}"), total);
+    bootes_obs::counter_add("par.region.invocations", 1);
+    for w in workers {
+        bootes_obs::histogram_record(
+            &format!("par.region.chunks_per_worker{{region={region}}}"),
+            w.chunks,
+        );
     }
 }
 
@@ -169,44 +259,78 @@ where
     R: Send,
     F: Fn(usize, Range<usize>) -> R + Sync,
 {
+    try_map_ranges_in(UNNAMED_REGION, threads, ranges, f)
+}
+
+/// [`try_map_ranges`] attributed to the named region: while profiling is
+/// enabled, each chunk is timed into its worker's Perfetto lane and the
+/// invocation records the `par.region.*` imbalance/utilization metrics
+/// under `region` (use the kernel's span name).
+pub fn try_map_ranges_in<R, F>(
+    region: &str,
+    threads: usize,
+    ranges: &[Range<usize>],
+    f: F,
+) -> Result<Vec<R>, GuardError>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    let profiled = bootes_obs::enabled();
+    let region_start = profiled.then(Instant::now);
     if threads <= 1 || ranges.len() <= 1 {
-        return ranges
+        let mut stats = WorkerStats::default();
+        let results: Result<Vec<R>, GuardError> = ranges
             .iter()
             .cloned()
             .enumerate()
-            .map(|(i, r)| run_chunk(i, r, &f))
+            .map(|(i, r)| run_chunk_timed(region, i, r, &f, &mut stats))
             .collect();
+        if let Some(start) = region_start {
+            record_region(region, start.elapsed().as_nanos() as u64, &[stats]);
+        }
+        return results;
     }
     let workers = threads.min(ranges.len());
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<Result<R, GuardError>>> = Vec::with_capacity(ranges.len());
     out.resize_with(ranges.len(), || None);
+    let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|slot| {
                 let next = &next;
                 let f = &f;
                 scope.spawn(move || {
+                    bootes_obs::pin_worker_tid(slot);
                     let _span = bootes_obs::span!("par.worker");
                     let mut produced = Vec::new();
+                    let mut stats = WorkerStats::default();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= ranges.len() {
                             break;
                         }
-                        produced.push((i, run_chunk(i, ranges[i].clone(), f)));
+                        produced.push((
+                            i,
+                            run_chunk_timed(region, i, ranges[i].clone(), f, &mut stats),
+                        ));
                     }
-                    produced
+                    (produced, stats)
                 })
             })
             .collect();
         for h in handles {
-            let produced = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            let (produced, stats) = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            worker_stats.push(stats);
             for (i, r) in produced {
                 out[i] = Some(r);
             }
         }
     });
+    if let Some(start) = region_start {
+        record_region(region, start.elapsed().as_nanos() as u64, &worker_stats);
+    }
     let mut results = Vec::with_capacity(ranges.len());
     for (i, slot) in out.into_iter().enumerate() {
         match slot {
@@ -236,6 +360,19 @@ where
     }
 }
 
+/// Infallible [`try_map_ranges_in`]: re-raises a chunk's [`GuardError`] as a
+/// panic. Use the `try_` variant wherever an error channel exists.
+pub fn map_ranges_in<R, F>(region: &str, threads: usize, ranges: &[Range<usize>], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    match try_map_ranges_in(region, threads, ranges, f) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
 /// Applies `f` to every index in `0..n` on up to `threads` worker threads,
 /// returning results in index order, or the first failing index's
 /// [`GuardError`]. Convenience wrapper over [`try_map_ranges`] for
@@ -245,8 +382,23 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    try_map_indices_in(UNNAMED_REGION, threads, n, f)
+}
+
+/// [`try_map_indices`] attributed to the named region (see
+/// [`try_map_ranges_in`]).
+pub fn try_map_indices_in<R, F>(
+    region: &str,
+    threads: usize,
+    n: usize,
+    f: F,
+) -> Result<Vec<R>, GuardError>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     let ranges: Vec<Range<usize>> = (0..n).map(|i| i..i + 1).collect();
-    try_map_ranges(threads, &ranges, |i, _| f(i))
+    try_map_ranges_in(region, threads, &ranges, |i, _| f(i))
 }
 
 /// Infallible [`try_map_indices`]: re-raises a chunk's [`GuardError`] as a
@@ -257,6 +409,19 @@ where
     F: Fn(usize) -> R + Sync,
 {
     match try_map_indices(threads, n, f) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Infallible [`try_map_indices_in`]: re-raises a chunk's [`GuardError`] as a
+/// panic. Use the `try_` variant wherever an error channel exists.
+pub fn map_indices_in<R, F>(region: &str, threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match try_map_indices_in(region, threads, n, f) {
         Ok(v) => v,
         Err(e) => panic!("{e}"),
     }
@@ -288,12 +453,31 @@ where
     T: Send,
     F: Fn(usize, Range<usize>, &mut [T]) + Sync,
 {
+    try_for_each_chunk_mut_in(UNNAMED_REGION, threads, data, ranges, f)
+}
+
+/// [`try_for_each_chunk_mut`] attributed to the named region (see
+/// [`try_map_ranges_in`]). One thread per range, so worker `slot == chunk
+/// index` and each lane runs exactly one chunk.
+pub fn try_for_each_chunk_mut_in<T, F>(
+    region: &str,
+    threads: usize,
+    data: &mut [T],
+    ranges: &[Range<usize>],
+    f: F,
+) -> Result<(), GuardError>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>, &mut [T]) + Sync,
+{
     let mut expected = 0usize;
     for r in ranges {
         assert_eq!(r.start, expected, "ranges must tile the slice contiguously");
         expected = r.end;
     }
     assert_eq!(expected, data.len(), "ranges must cover the whole slice");
+    let profiled = bootes_obs::enabled();
+    let region_start = profiled.then(Instant::now);
     let run = |i: usize, r: Range<usize>, chunk: &mut [T]| -> Result<(), GuardError> {
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
             bootes_guard::fail_point("par.worker")?;
@@ -308,14 +492,42 @@ where
             }),
         }
     };
-    if threads <= 1 || ranges.len() <= 1 {
-        for (i, r) in ranges.iter().enumerate() {
-            run(i, r.clone(), &mut data[r.clone()])?;
+    let run_timed = |i: usize,
+                     r: Range<usize>,
+                     chunk: &mut [T],
+                     stats: &mut WorkerStats|
+     -> Result<(), GuardError> {
+        if !profiled {
+            return run(i, r, chunk);
         }
-        return Ok(());
+        let start_ns = bootes_obs::epoch_ns();
+        let started = Instant::now();
+        let weight = r.len() as u64;
+        let recorded = r.clone();
+        let res = run(i, r, chunk);
+        let dur_ns = started.elapsed().as_nanos() as u64;
+        stats.busy_ns += dur_ns;
+        stats.chunks += 1;
+        bootes_obs::record_worker_chunk(region, i, recorded, weight, start_ns, dur_ns);
+        res
+    };
+    if threads <= 1 || ranges.len() <= 1 {
+        let mut stats = WorkerStats::default();
+        let mut result = Ok(());
+        for (i, r) in ranges.iter().enumerate() {
+            result = run_timed(i, r.clone(), &mut data[r.clone()], &mut stats);
+            if result.is_err() {
+                break;
+            }
+        }
+        if let Some(start) = region_start {
+            record_region(region, start.elapsed().as_nanos() as u64, &[stats]);
+        }
+        return result;
     }
-    std::thread::scope(|scope| {
-        let run = &run;
+    let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(ranges.len());
+    let result = std::thread::scope(|scope| {
+        let run_timed = &run_timed;
         let mut rest = data;
         let mut handles = Vec::with_capacity(ranges.len());
         for (i, r) in ranges.iter().enumerate() {
@@ -323,13 +535,17 @@ where
             rest = tail;
             let r = r.clone();
             handles.push(scope.spawn(move || {
+                bootes_obs::pin_worker_tid(i);
                 let _span = bootes_obs::span!("par.worker");
-                run(i, r, chunk)
+                let mut stats = WorkerStats::default();
+                let res = run_timed(i, r, chunk, &mut stats);
+                (res, stats)
             }));
         }
         let mut first_err = None;
         for h in handles {
-            let res = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            let (res, stats) = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            worker_stats.push(stats);
             if let Err(e) = res {
                 if first_err.is_none() {
                     first_err = Some(e);
@@ -340,7 +556,11 @@ where
             Some(e) => Err(e),
             None => Ok(()),
         }
-    })
+    });
+    if let Some(start) = region_start {
+        record_region(region, start.elapsed().as_nanos() as u64, &worker_stats);
+    }
+    result
 }
 
 /// Infallible [`try_for_each_chunk_mut`]: re-raises a chunk's [`GuardError`]
@@ -351,6 +571,24 @@ where
     F: Fn(usize, Range<usize>, &mut [T]) + Sync,
 {
     if let Err(e) = try_for_each_chunk_mut(threads, data, ranges, f) {
+        panic!("{e}");
+    }
+}
+
+/// Infallible [`try_for_each_chunk_mut_in`]: re-raises a chunk's
+/// [`GuardError`] as a panic. Use the `try_` variant wherever an error
+/// channel exists.
+pub fn for_each_chunk_mut_in<T, F>(
+    region: &str,
+    threads: usize,
+    data: &mut [T],
+    ranges: &[Range<usize>],
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, Range<usize>, &mut [T]) + Sync,
+{
+    if let Err(e) = try_for_each_chunk_mut_in(region, threads, data, ranges, f) {
         panic!("{e}");
     }
 }
@@ -565,6 +803,103 @@ mod tests {
         // Chunks 0 and 2 still completed; only chunk 1's range is untouched.
         assert!(data[..4].iter().all(|&v| v != 0));
         assert!(data[8..].iter().all(|&v| v != 0));
+    }
+
+    fn gauge(profile: &bootes_obs::Profile, name: &str) -> Option<f64> {
+        profile
+            .gauges
+            .iter()
+            .find(|g| g.name == name)
+            .map(|g| g.value)
+    }
+
+    // Profiling state is process-global like failpoints, so attribution
+    // tests serialize through the same lock and restore the disabled state.
+    #[test]
+    fn region_attribution_records_metrics_and_chunks() {
+        let _g = fp_serial();
+        bootes_guard::clear_failpoints();
+        bootes_obs::set_enabled(true);
+        bootes_obs::reset();
+        let ranges = partition_even(64, 4);
+        let out = map_ranges_in("test.attr", 4, &ranges, |_, r| {
+            // Burn a little measurable time per chunk.
+            let mut acc = 0u64;
+            for i in r {
+                acc = acc.wrapping_add((i as u64).wrapping_mul(2_654_435_761));
+            }
+            acc
+        });
+        assert_eq!(out.len(), 4);
+        let profile = bootes_obs::snapshot();
+        let chunks = bootes_obs::worker_chunks();
+        bootes_obs::set_enabled(false);
+        bootes_obs::reset();
+
+        let imbalance = gauge(&profile, "par.region.imbalance{region=test.attr}")
+            .expect("imbalance gauge recorded");
+        assert!(imbalance >= 1.0, "imbalance {imbalance} must be >= 1");
+        let utilization = gauge(&profile, "par.region.utilization{region=test.attr}")
+            .expect("utilization gauge recorded");
+        assert!(
+            utilization > 0.0 && utilization <= 1.0 + 1e-9,
+            "utilization {utilization} out of (0, 1]"
+        );
+        assert!(profile
+            .histograms
+            .iter()
+            .any(|h| h.name == "par.region.chunks_per_worker{region=test.attr}"));
+
+        let attr: Vec<_> = chunks.iter().filter(|c| c.region == "test.attr").collect();
+        assert_eq!(attr.len(), 4, "one chunk event per range");
+        let mut seen: Vec<usize> = attr.iter().map(|c| c.chunk).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        for c in &attr {
+            assert!(c.tid >= 10_000, "worker lane tid, got {}", c.tid);
+            assert_eq!(c.weight, c.range.len() as u64);
+        }
+    }
+
+    #[test]
+    fn serial_path_still_attributes_region() {
+        let _g = fp_serial();
+        bootes_guard::clear_failpoints();
+        bootes_obs::set_enabled(true);
+        bootes_obs::reset();
+        let ranges = partition_even(16, 4);
+        let mut data = vec![0u32; 16];
+        for_each_chunk_mut_in("test.serial", 1, &mut data, &ranges, |_, range, chunk| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = (range.start + off) as u32;
+            }
+        });
+        let profile = bootes_obs::snapshot();
+        bootes_obs::set_enabled(false);
+        bootes_obs::reset();
+        assert_eq!(data, (0..16).collect::<Vec<_>>());
+        let imbalance = gauge(&profile, "par.region.imbalance{region=test.serial}")
+            .expect("serial invocations still record the region gauges");
+        assert!(
+            (imbalance - 1.0).abs() < 1e-9,
+            "single worker => {imbalance}"
+        );
+        assert!(profile
+            .counters
+            .iter()
+            .any(|c| c.name == "par.region.wall_ns{region=test.serial}" && c.value > 0));
+    }
+
+    #[test]
+    fn disabled_profiling_records_nothing() {
+        let _g = fp_serial();
+        bootes_guard::clear_failpoints();
+        bootes_obs::set_enabled(false);
+        bootes_obs::reset();
+        let ranges = partition_even(32, 4);
+        let _ = map_ranges_in("test.off", 4, &ranges, |i, _| i);
+        assert!(bootes_obs::worker_chunks().is_empty());
+        assert!(bootes_obs::snapshot().gauges.is_empty());
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Blessed per-bench perf baselines: `results/baselines/<bench>.json`.
+//!
+//! A baseline freezes, per case, the median and MAD of a run someone
+//! explicitly blessed (`BOOTES_BLESS_PERF=1`, or `bootes perf bless`). The
+//! comparator in [`crate::diff`] gates later runs against it.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::runner::Measurement;
+use crate::stats::Summary;
+
+/// One case of a blessed baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineCase {
+    /// Case name (matches [`Measurement::case`]).
+    pub case: String,
+    /// Unit of the medians (`"ns"`).
+    pub unit: String,
+    /// Blessed robust summary.
+    pub summary: Summary,
+    /// Repeats behind the blessed summary.
+    pub reps: usize,
+}
+
+/// A blessed baseline for one bench.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Bench name (matches [`Measurement::bench`]).
+    pub bench: String,
+    /// Git revision the baseline was blessed at.
+    pub git_rev: String,
+    /// Config hash the baseline was blessed under.
+    pub config_hash: String,
+    /// Per-case blessed summaries.
+    pub cases: Vec<BaselineCase>,
+}
+
+/// Path of the baseline file for `bench` under `results_root`.
+pub fn baseline_path(results_root: &Path, bench: &str) -> PathBuf {
+    results_root.join("baselines").join(format!("{bench}.json"))
+}
+
+/// Writes (overwrites) the baseline for `bench` from a run's measurements.
+///
+/// # Errors
+///
+/// Returns any I/O error creating the directory or writing the file; an
+/// empty `records` slice is `InvalidInput`.
+pub fn bless(results_root: &Path, bench: &str, records: &[Measurement]) -> std::io::Result<()> {
+    let Some(first) = records.first() else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "cannot bless an empty run",
+        ));
+    };
+    let baseline = Baseline {
+        bench: bench.to_string(),
+        git_rev: first.env.git_rev.clone(),
+        config_hash: first.env.config_hash.clone(),
+        cases: records
+            .iter()
+            .map(|m| BaselineCase {
+                case: m.case.clone(),
+                unit: m.unit.clone(),
+                summary: m.summary.clone(),
+                reps: m.reps,
+            })
+            .collect(),
+    };
+    let path = baseline_path(results_root, bench);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let text = serde_json::to_string_pretty(&serde::Serialize::serialize(&baseline))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, text)
+}
+
+/// Loads the blessed baseline for `bench`.
+///
+/// # Errors
+///
+/// I/O errors surface as-is (`ErrorKind::NotFound` for a missing baseline);
+/// unparseable content is `InvalidData`.
+pub fn load_baseline(results_root: &Path, bench: &str) -> std::io::Result<Baseline> {
+    let text = std::fs::read_to_string(baseline_path(results_root, bench))?;
+    serde_json::from_str(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Lists the bench names that have a baseline under `results_root`
+/// (file stems of `baselines/*.json`), sorted.
+pub fn list_baselines(results_root: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(results_root.join("baselines"))
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let path = e.path();
+                    if path.extension().and_then(|x| x.to_str()) == Some("json") {
+                        path.file_stem()
+                            .and_then(|s| s.to_str())
+                            .map(|s| s.to_string())
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bootes-perf-baseline-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn bless_then_load_round_trips() {
+        let dir = tmp_dir("rt");
+        let mut runner = Runner::new("bl_bench").with_counts(0, 2);
+        runner.measure("x", || 42);
+        let records = runner.into_measurements();
+        bless(&dir, "bl_bench", &records).unwrap();
+        let loaded = load_baseline(&dir, "bl_bench").unwrap();
+        assert_eq!(loaded.bench, "bl_bench");
+        assert_eq!(loaded.cases.len(), 1);
+        assert_eq!(loaded.cases[0].case, "x");
+        assert_eq!(loaded.cases[0].summary, records[0].summary);
+        assert_eq!(list_baselines(&dir), vec!["bl_bench".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_bless_is_rejected() {
+        let dir = tmp_dir("empty");
+        assert!(bless(&dir, "none", &[]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_baseline_is_not_found() {
+        let dir = tmp_dir("missing");
+        let err = load_baseline(&dir, "absent").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        assert!(list_baselines(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

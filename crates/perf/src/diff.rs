@@ -1,0 +1,438 @@
+//! The noise-aware perf comparator behind `bootes perf diff`.
+//!
+//! A case **regresses** only when its median slowdown over the blessed
+//! baseline exceeds the *allowance*
+//!
+//! ```text
+//! allowance = max(rel_threshold · baseline_median,
+//!                 k_mad · max(baseline_mad, current_mad),
+//!                 abs_floor_ns)
+//! ```
+//!
+//! The relative term catches real slowdowns on long cases, the MAD term
+//! widens the gate exactly as much as the measured run-to-run noise, and the
+//! absolute floor keeps micro-cases (whose MAD can be a handful of ns) from
+//! gating on scheduler jitter. Improvements use the same allowance
+//! symmetrically and are reported, never failed on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::baseline::Baseline;
+use crate::runner::Measurement;
+
+/// Thresholds of the regression gate (see the module docs for the rule).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Relative slowdown always tolerated (fraction of the baseline median).
+    pub rel_threshold: f64,
+    /// Noise multiplier: tolerated slowdown in units of the larger MAD.
+    pub k_mad: f64,
+    /// Absolute slowdown floor in nanoseconds, below which nothing gates.
+    pub abs_floor_ns: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            rel_threshold: 0.10,
+            k_mad: 5.0,
+            abs_floor_ns: 200_000.0, // 0.2 ms
+        }
+    }
+}
+
+/// Verdict for one case of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiffStatus {
+    /// Within the allowance either way.
+    Ok,
+    /// Faster than the baseline by more than the allowance.
+    Improved,
+    /// Slower than the baseline by more than the allowance — gates.
+    Regressed,
+    /// Present in the current run but not in the baseline.
+    New,
+    /// Present in the baseline but not measured by the current run.
+    Missing,
+}
+
+/// One case's comparison row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseDiff {
+    /// Bench the case belongs to.
+    pub bench: String,
+    /// Case name.
+    pub case: String,
+    /// Blessed median (ns); 0 for `New` cases.
+    pub baseline_median: f64,
+    /// Current median (ns); 0 for `Missing` cases.
+    pub current_median: f64,
+    /// Signed relative change (`current/baseline - 1`); 0 when undefined.
+    pub rel_change: f64,
+    /// Allowance the change was gated against (ns).
+    pub allowance_ns: f64,
+    /// Verdict.
+    pub status: DiffStatus,
+}
+
+/// Full comparison of one or more benches.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DiffReport {
+    /// Per-case rows, in baseline order then new cases.
+    pub rows: Vec<CaseDiff>,
+    /// Number of `Regressed` rows (the gate fails iff this is nonzero).
+    pub regressions: usize,
+    /// Warnings (missing baselines, config-hash mismatches, ...).
+    pub warnings: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes (no regressed rows).
+    pub fn passed(&self) -> bool {
+        self.regressions == 0
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: DiffReport) {
+        self.rows.extend(other.rows);
+        self.regressions += other.regressions;
+        self.warnings.extend(other.warnings);
+    }
+}
+
+/// Compares one bench's current measurements against its blessed baseline.
+pub fn diff_bench(baseline: &Baseline, current: &[Measurement], cfg: &DiffConfig) -> DiffReport {
+    let mut report = DiffReport::default();
+    if let Some(cur) = current.first() {
+        if cur.env.config_hash != baseline.config_hash {
+            report.warnings.push(format!(
+                "{}: config hash {} differs from blessed {} — thresholds may not transfer",
+                baseline.bench, cur.env.config_hash, baseline.config_hash
+            ));
+        }
+    }
+    for base in &baseline.cases {
+        let Some(cur) = current.iter().find(|m| m.case == base.case) else {
+            report.rows.push(CaseDiff {
+                bench: baseline.bench.clone(),
+                case: base.case.clone(),
+                baseline_median: base.summary.median,
+                current_median: 0.0,
+                rel_change: 0.0,
+                allowance_ns: 0.0,
+                status: DiffStatus::Missing,
+            });
+            report.warnings.push(format!(
+                "{}/{}: not measured by the current run",
+                baseline.bench, base.case
+            ));
+            continue;
+        };
+        let allowance = (cfg.rel_threshold * base.summary.median)
+            .max(cfg.k_mad * base.summary.mad.max(cur.summary.mad))
+            .max(cfg.abs_floor_ns);
+        let delta = cur.summary.median - base.summary.median;
+        let rel_change = if base.summary.median > 0.0 {
+            delta / base.summary.median
+        } else {
+            0.0
+        };
+        let status = if delta > allowance {
+            DiffStatus::Regressed
+        } else if -delta > allowance {
+            DiffStatus::Improved
+        } else {
+            DiffStatus::Ok
+        };
+        if status == DiffStatus::Regressed {
+            report.regressions += 1;
+        }
+        report.rows.push(CaseDiff {
+            bench: baseline.bench.clone(),
+            case: base.case.clone(),
+            baseline_median: base.summary.median,
+            current_median: cur.summary.median,
+            rel_change,
+            allowance_ns: allowance,
+            status,
+        });
+    }
+    for cur in current {
+        if !baseline.cases.iter().any(|b| b.case == cur.case) {
+            report.rows.push(CaseDiff {
+                bench: baseline.bench.clone(),
+                case: cur.case.clone(),
+                baseline_median: 0.0,
+                current_median: cur.summary.median,
+                rel_change: 0.0,
+                allowance_ns: 0.0,
+                status: DiffStatus::New,
+            });
+        }
+    }
+    report
+}
+
+/// Compares every bench with a baseline under `results_root` against the
+/// latest run in its history ledger. A bench with a baseline but no history
+/// (or vice versa) produces a warning row, never a failure.
+pub fn diff_benches(results_root: &std::path::Path, cfg: &DiffConfig) -> DiffReport {
+    let mut report = DiffReport::default();
+    let benches = crate::baseline::list_baselines(results_root);
+    if benches.is_empty() {
+        report.warnings.push(format!(
+            "no baselines under {} — nothing to gate (bless with BOOTES_BLESS_PERF=1)",
+            results_root.join("baselines").display()
+        ));
+        return report;
+    }
+    for bench in benches {
+        let baseline = match crate::baseline::load_baseline(results_root, &bench) {
+            Ok(b) => b,
+            Err(e) => {
+                report
+                    .warnings
+                    .push(format!("{bench}: unreadable baseline ({e}) — skipped"));
+                continue;
+            }
+        };
+        let history = match crate::history::load_history(results_root, &bench) {
+            Ok(h) => h,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                report.warnings.push(format!(
+                    "{bench}: baseline present but no history — run the bench first"
+                ));
+                continue;
+            }
+            Err(e) => {
+                report
+                    .warnings
+                    .push(format!("{bench}: unreadable history ({e}) — skipped"));
+                continue;
+            }
+        };
+        let latest = crate::history::latest_run(&history);
+        if latest.is_empty() {
+            report
+                .warnings
+                .push(format!("{bench}: history is empty — run the bench first"));
+            continue;
+        }
+        report.merge(diff_bench(&baseline, &latest, cfg));
+    }
+    report
+}
+
+/// Renders the report as the human table `bootes perf diff` prints.
+pub fn render_diff(report: &DiffReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>12} {:>12} {:>8} {:>12}  {}\n",
+        "bench/case", "baseline", "current", "change", "allowance", "status"
+    ));
+    out.push_str(&"-".repeat(96));
+    out.push('\n');
+    for row in &report.rows {
+        let label = format!("{}/{}", row.bench, row.case);
+        let status = match row.status {
+            DiffStatus::Ok => "ok",
+            DiffStatus::Improved => "IMPROVED",
+            DiffStatus::Regressed => "REGRESSED",
+            DiffStatus::New => "new",
+            DiffStatus::Missing => "missing",
+        };
+        let _ = writeln!(
+            out,
+            "{:<34} {:>12} {:>12} {:>+7.1}% {:>12}  {}",
+            label,
+            bootes_obs::fmt_ns(row.baseline_median as u64),
+            bootes_obs::fmt_ns(row.current_median as u64),
+            row.rel_change * 100.0,
+            bootes_obs::fmt_ns(row.allowance_ns as u64),
+            status
+        );
+    }
+    for w in &report.warnings {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    let _ = writeln!(
+        out,
+        "{} case(s), {} regression(s) -> {}",
+        report.rows.len(),
+        report.regressions,
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineCase;
+    use crate::runner::{BenchEnv, Measurement};
+    use crate::stats::Summary;
+
+    fn env() -> BenchEnv {
+        BenchEnv {
+            threads: 4,
+            cpus: 4,
+            git_rev: "deadbee".to_string(),
+            config_hash: "0123456789abcdef".to_string(),
+            timestamp_unix: 1_700_000_000,
+        }
+    }
+
+    fn summary(median: f64, mad: f64) -> Summary {
+        Summary {
+            median,
+            mad,
+            min: median - mad,
+            max: median + mad,
+            mean: median,
+        }
+    }
+
+    fn baseline(median: f64, mad: f64) -> Baseline {
+        Baseline {
+            bench: "b".to_string(),
+            git_rev: "deadbee".to_string(),
+            config_hash: "0123456789abcdef".to_string(),
+            cases: vec![BaselineCase {
+                case: "c".to_string(),
+                unit: "ns".to_string(),
+                summary: summary(median, mad),
+                reps: 5,
+            }],
+        }
+    }
+
+    fn measurement(median: f64, mad: f64) -> Measurement {
+        Measurement {
+            bench: "b".to_string(),
+            case: "c".to_string(),
+            unit: "ns".to_string(),
+            warmup: 1,
+            reps: 5,
+            summary: summary(median, mad),
+            samples: vec![median; 5],
+            env: env(),
+        }
+    }
+
+    // MAD gating edge cases: baseline 10 ms ±1 ms, k_mad = 5, rel 10%,
+    // floor 0.2 ms => allowance = max(1 ms, 5 ms, 0.2 ms) = 5 ms.
+    const CFG: DiffConfig = DiffConfig {
+        rel_threshold: 0.10,
+        k_mad: 5.0,
+        abs_floor_ns: 200_000.0,
+    };
+
+    #[test]
+    fn regression_just_under_k_mad_passes() {
+        let report = diff_bench(
+            &baseline(10_000_000.0, 1_000_000.0),
+            &[measurement(14_900_000.0, 1_000_000.0)],
+            &CFG,
+        );
+        assert_eq!(report.rows[0].status, DiffStatus::Ok);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn regression_just_over_k_mad_fails() {
+        let report = diff_bench(
+            &baseline(10_000_000.0, 1_000_000.0),
+            &[measurement(15_100_000.0, 1_000_000.0)],
+            &CFG,
+        );
+        assert_eq!(report.rows[0].status, DiffStatus::Regressed);
+        assert_eq!(report.regressions, 1);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn rel_threshold_gates_when_noise_is_tight() {
+        // MAD ~0: allowance = max(10% of 100 ms, ~0, 0.2 ms) = 10 ms.
+        let base = baseline(100_000_000.0, 1_000.0);
+        let ok = diff_bench(&base, &[measurement(109_000_000.0, 1_000.0)], &CFG);
+        assert_eq!(ok.rows[0].status, DiffStatus::Ok);
+        let bad = diff_bench(&base, &[measurement(111_000_000.0, 1_000.0)], &CFG);
+        assert_eq!(bad.rows[0].status, DiffStatus::Regressed);
+    }
+
+    #[test]
+    fn abs_floor_protects_micro_cases() {
+        // 10 µs case doubling is still under the 0.2 ms floor: no gate.
+        let report = diff_bench(
+            &baseline(10_000.0, 100.0),
+            &[measurement(20_000.0, 100.0)],
+            &CFG,
+        );
+        assert_eq!(report.rows[0].status, DiffStatus::Ok);
+    }
+
+    #[test]
+    fn current_mad_widens_the_gate() {
+        // Noisy *current* run: allowance takes the larger MAD.
+        let report = diff_bench(
+            &baseline(10_000_000.0, 100_000.0),
+            &[measurement(14_000_000.0, 1_000_000.0)],
+            &CFG,
+        );
+        assert_eq!(report.rows[0].status, DiffStatus::Ok);
+    }
+
+    #[test]
+    fn improvement_is_reported_not_failed() {
+        let report = diff_bench(
+            &baseline(10_000_000.0, 100_000.0),
+            &[measurement(5_000_000.0, 100_000.0)],
+            &CFG,
+        );
+        assert_eq!(report.rows[0].status, DiffStatus::Improved);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn new_and_missing_cases_warn_not_fail() {
+        let mut extra = measurement(1_000.0, 10.0);
+        extra.case = "brand_new".to_string();
+        let report = diff_bench(&baseline(10_000_000.0, 100_000.0), &[extra], &CFG);
+        let statuses: Vec<DiffStatus> = report.rows.iter().map(|r| r.status).collect();
+        assert_eq!(statuses, vec![DiffStatus::Missing, DiffStatus::New]);
+        assert!(report.passed());
+        assert_eq!(report.warnings.len(), 1);
+    }
+
+    #[test]
+    fn config_hash_mismatch_warns() {
+        let mut cur = measurement(10_000_000.0, 100_000.0);
+        cur.env.config_hash = "ffffffffffffffff".to_string();
+        let report = diff_bench(&baseline(10_000_000.0, 100_000.0), &[cur], &CFG);
+        assert!(report.warnings.iter().any(|w| w.contains("config hash")));
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn missing_baseline_dir_warns_not_fails() {
+        let dir = std::env::temp_dir().join(format!("bootes-perf-nodir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = diff_benches(&dir, &DiffConfig::default());
+        assert!(report.passed());
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.warnings[0].contains("no baselines"));
+    }
+
+    #[test]
+    fn render_mentions_verdict() {
+        let report = diff_bench(
+            &baseline(10_000_000.0, 1_000_000.0),
+            &[measurement(15_100_000.0, 1_000_000.0)],
+            &CFG,
+        );
+        let text = render_diff(&report);
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Append-only run ledger: `results/history/<bench>.jsonl`, one JSON record
+//! (a [`Measurement`]) per line. Nothing ever rewrites a line, so the file
+//! is a complete chronology of the bench on this machine/checkout.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize as _;
+
+use crate::runner::Measurement;
+
+/// Path of the history ledger for `bench` under `results_root`.
+pub fn history_path(results_root: &Path, bench: &str) -> PathBuf {
+    results_root.join("history").join(format!("{bench}.jsonl"))
+}
+
+/// Appends each measurement as one JSON line to its bench's ledger.
+///
+/// # Errors
+///
+/// Returns any I/O error creating the directory or appending to the file.
+pub fn append_history(results_root: &Path, records: &[Measurement]) -> std::io::Result<()> {
+    for record in records {
+        let path = history_path(results_root, &record.bench);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        let line = serde_json::to_string(&record.serialize())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(file, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Loads every record of a bench's ledger, oldest first. Lines that fail to
+/// parse (e.g. truncated by a crashed run) are skipped.
+///
+/// # Errors
+///
+/// Returns any I/O error reading the file; a missing file is an error the
+/// caller can match on `ErrorKind::NotFound`.
+pub fn load_history(results_root: &Path, bench: &str) -> std::io::Result<Vec<Measurement>> {
+    let text = std::fs::read_to_string(history_path(results_root, bench))?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str::<Measurement>(l).ok())
+        .collect())
+}
+
+/// The most recent run of a bench: the trailing block of ledger records
+/// sharing the last record's timestamp and config hash, reduced to the last
+/// record per case (so a re-measured case within one run wins with its
+/// latest record).
+pub fn latest_run(records: &[Measurement]) -> Vec<Measurement> {
+    let Some(last) = records.last() else {
+        return Vec::new();
+    };
+    let mut run: Vec<Measurement> = Vec::new();
+    for r in records
+        .iter()
+        .rev()
+        .take_while(|r| {
+            r.env.timestamp_unix == last.env.timestamp_unix
+                && r.env.config_hash == last.env.config_hash
+        })
+        .cloned()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
+        match run.iter_mut().find(|m| m.case == r.case) {
+            Some(slot) => *slot = r,
+            None => run.push(r),
+        }
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bootes-perf-history-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let mut runner = Runner::new("rt_bench").with_counts(0, 2);
+        runner.measure("a", || 1);
+        runner.measure("b", || 2);
+        let written = runner.into_measurements();
+        append_history(&dir, &written).unwrap();
+        append_history(&dir, &written).unwrap(); // second run appends
+        let loaded = load_history(&dir, "rt_bench").unwrap();
+        assert_eq!(loaded.len(), 4);
+        assert_eq!(loaded[..2], written[..]);
+        assert_eq!(loaded[2..], written[..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped() {
+        let dir = tmp_dir("corrupt");
+        let mut runner = Runner::new("c_bench").with_counts(0, 1);
+        runner.measure("a", || 1);
+        append_history(&dir, &runner.into_measurements()).unwrap();
+        let path = history_path(&dir, "c_bench");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{not json\n");
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(load_history(&dir, "c_bench").unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_history_is_not_found() {
+        let dir = tmp_dir("missing");
+        let err = load_history(&dir, "absent").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_run_takes_trailing_block() {
+        let mut runner = Runner::new("lr").with_counts(0, 1);
+        runner.measure("a", || 1);
+        runner.measure("b", || 2);
+        let mut records = runner.into_measurements();
+        // Simulate an older run with a different timestamp prepended.
+        let mut old = records[0].clone();
+        old.env.timestamp_unix = old.env.timestamp_unix.saturating_sub(100);
+        old.case = "stale".to_string();
+        records.insert(0, old);
+        let latest = latest_run(&records);
+        let cases: Vec<&str> = latest.iter().map(|m| m.case.as_str()).collect();
+        assert_eq!(cases, vec!["a", "b"]);
+    }
+}

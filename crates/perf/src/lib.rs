@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! Statistically rigorous benchmarking and perf-regression gating.
+//!
+//! The paper's central claim is a *measured* one, so this crate is the
+//! measurement discipline the rest of the workspace reports through:
+//!
+//! - [`Runner`]: warmup + N-repeat measurement of closures, summarized as
+//!   median / MAD / min / max / mean with full environment capture (thread
+//!   policy, CPU count, git revision, config hash) — see [`stats`] for the
+//!   estimators,
+//! - [`history`]: an append-only `results/history/<bench>.jsonl` ledger of
+//!   every run, one JSON record per case per run,
+//! - [`baseline`]: blessed per-bench baselines (`results/baselines/
+//!   <bench>.json`), written when `BOOTES_BLESS_PERF=1`,
+//! - [`diff`]: the noise-aware comparator behind `bootes perf diff` — a case
+//!   regresses only if its median slowdown exceeds
+//!   `max(rel_threshold · baseline, k · MAD, abs_floor)`, so gating stays
+//!   non-flaky on noisy shared machines,
+//! - [`rates`]: achieved MFLOP/s and GB/s per kernel, pairing the
+//!   `kernel.flops{kernel=X}` / `kernel.bytes{kernel=X}` accounting counters
+//!   with the matching `par.region.wall_ns{region=X}` region clock.
+//!
+//! Median-of-repeats plus MAD (median absolute deviation) is the standard
+//! robust pairing: one preempted repeat shifts neither estimator, whereas a
+//! mean/stddev gate trips on every scheduler hiccup.
+
+pub mod baseline;
+pub mod diff;
+pub mod history;
+pub mod rates;
+pub mod runner;
+pub mod stats;
+
+pub use baseline::{bless, load_baseline, Baseline, BaselineCase};
+pub use diff::{diff_benches, render_diff, CaseDiff, DiffConfig, DiffReport, DiffStatus};
+pub use history::{append_history, history_path, latest_run, load_history};
+pub use rates::{kernel_rates, render_rates, KernelRate};
+pub use runner::{BenchEnv, Measurement, Runner};
+pub use stats::{mad, median, summarize, Summary};
+
+use std::path::PathBuf;
+
+/// Directory where harness outputs are written (`results/` at the workspace
+/// root, overridable with `BOOTES_RESULTS`). Benchmarks, baselines, and the
+/// run history all live under this root.
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BOOTES_RESULTS") {
+        return PathBuf::from(dir);
+    }
+    // CARGO_MANIFEST_DIR = crates/perf; results live at the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Whether this process should bless (overwrite) perf baselines
+/// (`BOOTES_BLESS_PERF=1`).
+pub fn blessing() -> bool {
+    std::env::var("BOOTES_BLESS_PERF").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}

@@ -1,0 +1,107 @@
+//! Robust summary statistics for repeated timing samples.
+//!
+//! Benchmarks on shared machines see occasional multi-millisecond stalls
+//! (scheduler preemption, page faults, turbo transitions). The median and
+//! the MAD (median absolute deviation) ignore any minority of such outliers,
+//! which is what makes the regression gate in [`crate::diff`] non-flaky.
+
+use serde::{Deserialize, Serialize};
+
+/// Median of `samples` (mean of the two middle elements for even lengths).
+/// Returns 0.0 for an empty slice.
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
+/// Median absolute deviation of `samples` around `center`: the median of
+/// `|x - center|`. A robust spread estimator — unlike the standard
+/// deviation, a single wild outlier among the repeats barely moves it.
+pub fn mad(samples: &[f64], center: f64) -> f64 {
+    let devs: Vec<f64> = samples.iter().map(|x| (x - center).abs()).collect();
+    median(&devs)
+}
+
+/// Robust five-number summary of one case's timing samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Median sample (the location estimate the gate compares).
+    pub median: f64,
+    /// Median absolute deviation around the median (the noise scale).
+    pub mad: f64,
+    /// Fastest sample (the contention-free floor).
+    pub min: f64,
+    /// Slowest sample.
+    pub max: f64,
+    /// Arithmetic mean (reported, never gated on).
+    pub mean: f64,
+}
+
+/// Summarizes timing samples into median/MAD/min/max/mean.
+pub fn summarize(samples: &[f64]) -> Summary {
+    let m = median(samples);
+    let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+    for &s in samples {
+        min = min.min(s);
+        max = max.max(s);
+        sum += s;
+    }
+    if samples.is_empty() {
+        min = 0.0;
+        max = 0.0;
+    }
+    Summary {
+        median: m,
+        mad: mad(samples, m),
+        min,
+        max,
+        mean: if samples.is_empty() {
+            0.0
+        } else {
+            sum / samples.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn mad_ignores_single_outlier() {
+        // Five tight samples plus one 100x outlier: median and MAD barely move.
+        let clean = [10.0, 10.1, 9.9, 10.0, 10.2];
+        let noisy = [10.0, 10.1, 9.9, 10.0, 10.2, 1000.0];
+        let mc = median(&clean);
+        let mn = median(&noisy);
+        assert!((mc - mn).abs() < 0.1);
+        assert!(mad(&noisy, mn) < 1.0, "{}", mad(&noisy, mn));
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let s = summarize(&[2.0, 1.0, 3.0]);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.mad, 1.0);
+    }
+}

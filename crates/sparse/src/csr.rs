@@ -352,13 +352,26 @@ impl CsrMatrix {
     pub fn par_matvec_into(&self, x: &[f64], y: &mut [f64], threads: usize) {
         assert_eq!(x.len(), self.ncols, "matvec input length");
         assert_eq!(y.len(), self.nrows, "matvec output length");
-        if threads <= 1 || self.nnz() < 1 << 14 {
+        if bootes_obs::enabled() {
+            // Multiply + add per nonzero; traffic reads value + column index
+            // + gathered x element per nonzero and writes y once.
+            bootes_obs::counter_add("kernel.flops{kernel=spmv}", 2 * self.nnz() as u64);
+            bootes_obs::counter_add(
+                "kernel.bytes{kernel=spmv}",
+                24 * self.nnz() as u64 + 8 * self.nrows as u64,
+            );
+        }
+        let small = threads <= 1 || self.nnz() < 1 << 14;
+        if small && !bootes_obs::enabled() {
             return self.matvec_into(x, y);
         }
-        let ranges = bootes_par::partition_weighted(self.nrows, threads, |r| {
+        // While profiling, even the serial fallback routes through the
+        // attributed combinator so the `spmv` region accrues wall time.
+        let parts = if small { 1 } else { threads };
+        let ranges = bootes_par::partition_weighted(self.nrows, parts, |r| {
             (self.indptr[r + 1] - self.indptr[r]) as u64
         });
-        bootes_par::for_each_chunk_mut(threads, y, &ranges, |_, range, chunk| {
+        bootes_par::for_each_chunk_mut_in("spmv", parts, y, &ranges, |_, range, chunk| {
             for (off, yr) in chunk.iter_mut().enumerate() {
                 *yr = self.row_dot(range.start + off, x);
             }

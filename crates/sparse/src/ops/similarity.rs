@@ -63,14 +63,26 @@ pub fn similarity_matrix_csc(a: &CsrMatrix, a_csc: &CscMatrix) -> CsrMatrix {
 /// bit-identical to the serial kernel for every thread count.
 pub fn par_similarity_matrix_csc(a: &CsrMatrix, a_csc: &CscMatrix, threads: usize) -> CsrMatrix {
     debug_assert_eq!(a.shape(), a_csc.shape(), "csc view shape mismatch");
+    let _span = bootes_obs::span!("similarity.rows");
     let n = a.nrows();
-    let ranges = bootes_par::partition_weighted(n, threads, |i| {
-        a.row(i).0.iter().map(|&k| a_csc.col_nnz(k) as u64).sum()
+    let row_work = |i: usize| -> u64 { a.row(i).0.iter().map(|&k| a_csc.col_nnz(k) as u64).sum() };
+    let ranges = bootes_par::partition_weighted(n, threads, row_work);
+    let chunks = bootes_par::map_ranges_in("similarity.rows", threads, &ranges, |_, rows| {
+        similarity_rows(a, a_csc, rows)
     });
-    let chunks =
-        bootes_par::map_ranges(threads, &ranges, |_, rows| similarity_rows(a, a_csc, rows));
 
-    let nnz = chunks.iter().map(|c| c.1.len()).sum();
+    let nnz: usize = chunks.iter().map(|c| c.1.len()).sum();
+    if bootes_obs::enabled() {
+        // One integer accumulate per (row-nonzero × column-fiber) pair; the
+        // traffic model charges pattern reads (8-byte indices on both sides)
+        // and one 16-byte write per output entry.
+        let ops: u64 = (0..n).map(row_work).sum();
+        bootes_obs::counter_add("kernel.flops{kernel=similarity.rows}", ops);
+        bootes_obs::counter_add(
+            "kernel.bytes{kernel=similarity.rows}",
+            8 * (a.nnz() as u64 + ops) + 16 * nnz as u64,
+        );
+    }
     let mut indptr = Vec::with_capacity(n + 1);
     let mut indices: Vec<usize> = Vec::with_capacity(nnz);
     let mut values: Vec<f64> = Vec::with_capacity(nnz);

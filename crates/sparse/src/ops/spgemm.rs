@@ -55,9 +55,18 @@ fn flop_weighted_rows(a: &CsrMatrix, b: &CsrMatrix, threads: usize) -> Vec<Range
 }
 
 /// Assembles chunk outputs (in chunk order) into a CSR matrix, recording the
-/// same per-row `spgemm.row_nnz` histogram entries the serial loop would.
-fn stitch_chunks(nrows: usize, ncols: usize, chunks: Vec<RowChunk>) -> CsrMatrix {
-    let nnz = chunks.iter().map(|c| c.indices.len()).sum();
+/// same per-row `spgemm.row_nnz` histogram entries the serial loop would,
+/// plus the `kernel.flops`/`kernel.bytes` accounting counters under `kernel`
+/// (the same label as the kernel's par region, so profiles can pair the
+/// work with the region's wall time into MFLOP/s and GB/s).
+fn stitch_chunks(
+    kernel: &str,
+    a_nnz: usize,
+    nrows: usize,
+    ncols: usize,
+    chunks: Vec<RowChunk>,
+) -> CsrMatrix {
+    let nnz: usize = chunks.iter().map(|c| c.indices.len()).sum();
     let mut indptr = Vec::with_capacity(nrows + 1);
     let mut indices = Vec::with_capacity(nnz);
     let mut values = Vec::with_capacity(nnz);
@@ -73,6 +82,13 @@ fn stitch_chunks(nrows: usize, ncols: usize, chunks: Vec<RowChunk>) -> CsrMatrix
         flops += chunk.flops;
     }
     bootes_obs::counter_add("spgemm.flops", flops);
+    // One multiply + one add per fiber product.
+    bootes_obs::counter_add(&format!("kernel.flops{{kernel={kernel}}}"), 2 * flops);
+    // Traffic model (no-cache upper bound): each A nonzero read once, one B
+    // element fetched per fiber product, each C nonzero written once; 16
+    // bytes per element (f64 value + 8-byte column index).
+    let bytes = 16 * (a_nnz as u64 + flops + nnz as u64);
+    bootes_obs::counter_add(&format!("kernel.bytes{{kernel={kernel}}}"), bytes);
     CsrMatrix::from_parts_unchecked(nrows, ncols, indptr, indices, values)
 }
 
@@ -204,8 +220,16 @@ pub fn par_spgemm(a: &CsrMatrix, b: &CsrMatrix, threads: usize) -> Result<CsrMat
     check_dims(a, b)?;
     let _span = bootes_obs::span!("spgemm.dense_acc");
     let ranges = flop_weighted_rows(a, b, threads);
-    let chunks = bootes_par::map_ranges(threads, &ranges, |_, rows| spgemm_rows_dense(a, b, rows));
-    Ok(stitch_chunks(a.nrows(), b.ncols(), chunks))
+    let chunks = bootes_par::map_ranges_in("spgemm.dense_acc", threads, &ranges, |_, rows| {
+        spgemm_rows_dense(a, b, rows)
+    });
+    Ok(stitch_chunks(
+        "spgemm.dense_acc",
+        a.nnz(),
+        a.nrows(),
+        b.ncols(),
+        chunks,
+    ))
 }
 
 /// Row-wise SpGEMM with a hash-map accumulator.
@@ -235,8 +259,16 @@ pub fn par_spgemm_hash(
     check_dims(a, b)?;
     let _span = bootes_obs::span!("spgemm.hash_acc");
     let ranges = flop_weighted_rows(a, b, threads);
-    let chunks = bootes_par::map_ranges(threads, &ranges, |_, rows| spgemm_rows_hash(a, b, rows));
-    Ok(stitch_chunks(a.nrows(), b.ncols(), chunks))
+    let chunks = bootes_par::map_ranges_in("spgemm.hash_acc", threads, &ranges, |_, rows| {
+        spgemm_rows_hash(a, b, rows)
+    });
+    Ok(stitch_chunks(
+        "spgemm.hash_acc",
+        a.nnz(),
+        a.nrows(),
+        b.ncols(),
+        chunks,
+    ))
 }
 
 /// Number of scalar multiply-accumulate operations a row-wise SpGEMM

@@ -13,7 +13,12 @@
 //!   train the decision tree on a measured synthetic corpus,
 //! - `decide <in.mtx> --model model.json` — run the cost model on a matrix,
 //! - `analyze <in.mtx> [--pes N]` — stack-distance reuse analysis of the
-//!   B-row access stream with predicted hit rates per cache size.
+//!   B-row access stream with predicted hit rates per cache size,
+//! - `perf diff [--baseline DIR] [-D]` — compare the latest bench runs in
+//!   `results/history/` against the blessed baselines with noise-aware
+//!   (MAD-scaled) thresholds; `-D` turns regressions into a nonzero exit,
+//! - `perf bless [BENCH...]` — bless the latest run of each bench as the new
+//!   regression baseline (equivalently, re-run under `BOOTES_BLESS_PERF=1`).
 //!
 //! Every subcommand also accepts the global flags:
 //!
@@ -86,6 +91,9 @@ usage:
   bootes train    [--corpus N] [--accel NAME] [--cache BYTES] [--seed S] -o model.json
   bootes decide   <in.mtx> --model model.json
   bootes analyze  <in.mtx> [--pes N]
+  bootes perf diff  [--baseline DIR] [-D] [--rel-threshold F] [--k-mad F]
+                    [--abs-floor-ms MS]
+  bootes perf bless [BENCH...] [--baseline DIR]
 global flags (any subcommand):
   --threads N             worker threads for the parallel kernels (default:
                           all cores; BOOTES_THREADS=N also works; output is
@@ -251,6 +259,12 @@ impl ProfileOpts {
         }
         let profile = bootes::obs::snapshot();
         eprint!("{}", bootes::obs::render_table(&profile));
+        // Instrumented kernels also publish flop/byte accounting; pair it
+        // with the region clocks into achieved MFLOP/s / GB/s.
+        eprint!(
+            "{}",
+            bootes::perf::render_rates(&bootes::perf::kernel_rates(&profile))
+        );
         if let Some(path) = &self.profile_out {
             std::fs::write(path, bootes::obs::export_json(&profile))
                 .map_err(|e| format!("write {path}: {e}"))?;
@@ -305,6 +319,7 @@ fn run(args: &[String], prof: &ProfileOpts) -> Result<(), String> {
         "train" => cmd_train(&args[1..]),
         "decide" => cmd_decide(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "perf" => cmd_perf(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -554,6 +569,120 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     println!("predicted LRU hit rate by cache capacity (in B rows):");
     for cap in [16usize, 64, 256, 1024, 4096] {
         println!("  {cap:>5} rows: {:.1}%", profile.hit_rate_at(cap) * 100.0);
+    }
+    Ok(())
+}
+
+/// Resolves the results root the perf actions operate on. `--baseline DIR`
+/// accepts either a `baselines/` directory (its parent becomes the root, so
+/// the sibling `history/` ledger is found next to it) or a results root.
+fn perf_root(args: &[String]) -> std::path::PathBuf {
+    match flag(args, "--baseline") {
+        Some(dir) => {
+            let p = std::path::PathBuf::from(&dir);
+            if p.file_name().and_then(|s| s.to_str()) == Some("baselines") {
+                p.parent().map_or(p.clone(), |parent| parent.to_path_buf())
+            } else {
+                p
+            }
+        }
+        None => bootes::perf::results_dir(),
+    }
+}
+
+fn cmd_perf(args: &[String]) -> Result<(), String> {
+    let Some(action) = args.first() else {
+        return Err("perf needs an action: diff | bless".to_string());
+    };
+    match action.as_str() {
+        "diff" => cmd_perf_diff(&args[1..]),
+        "bless" => cmd_perf_bless(&args[1..]),
+        other => Err(format!("unknown perf action {other:?}")),
+    }
+}
+
+fn cmd_perf_diff(args: &[String]) -> Result<(), String> {
+    let mut cfg = bootes::perf::DiffConfig::default();
+    if let Some(v) = flag(args, "--rel-threshold") {
+        cfg.rel_threshold = v
+            .parse()
+            .map_err(|e| format!("bad --rel-threshold {v:?}: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--k-mad") {
+        cfg.k_mad = v.parse().map_err(|e| format!("bad --k-mad {v:?}: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--abs-floor-ms") {
+        let ms: f64 = v
+            .parse()
+            .map_err(|e| format!("bad --abs-floor-ms {v:?}: {e}"))?;
+        cfg.abs_floor_ns = ms * 1e6;
+    }
+    let strict = args.iter().any(|a| a == "-D" || a == "--deny-regressions");
+    let root = perf_root(args);
+    let report = bootes::perf::diff_benches(&root, &cfg);
+    print!("{}", bootes::perf::render_diff(&report));
+    if !report.passed() {
+        if strict {
+            // Exit directly: a gate failure should print the table above,
+            // not the subcommand usage.
+            eprintln!(
+                "error: {} perf regression(s) exceed the noise allowance",
+                report.regressions
+            );
+            std::process::exit(1);
+        }
+        eprintln!("note: regressions present; rerun with -D to fail the exit code");
+    }
+    Ok(())
+}
+
+fn cmd_perf_bless(args: &[String]) -> Result<(), String> {
+    let root = perf_root(args);
+    let mut benches: Vec<String> = args
+        .iter()
+        .take_while(|a| !a.starts_with('-'))
+        .cloned()
+        .collect();
+    if benches.is_empty() {
+        // No explicit benches: bless everything with a history ledger.
+        benches = std::fs::read_dir(root.join("history"))
+            .map_err(|e| format!("no run history under {}: {e}", root.display()))?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let path = e.path();
+                if path.extension().and_then(|x| x.to_str()) == Some("jsonl") {
+                    path.file_stem()
+                        .and_then(|s| s.to_str())
+                        .map(|s| s.to_string())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        benches.sort();
+    }
+    if benches.is_empty() {
+        return Err(format!(
+            "nothing to bless: no history ledgers under {}",
+            root.join("history").display()
+        ));
+    }
+    for bench in &benches {
+        let history = bootes::perf::load_history(&root, bench)
+            .map_err(|e| format!("{bench}: read history: {e}"))?;
+        let latest = bootes::perf::latest_run(&history);
+        if latest.is_empty() {
+            return Err(format!("{bench}: history is empty — run the bench first"));
+        }
+        bootes::perf::bless(&root, bench, &latest).map_err(|e| format!("{bench}: bless: {e}"))?;
+        println!(
+            "blessed {} ({} case(s)) -> {}",
+            bench,
+            latest.len(),
+            root.join("baselines")
+                .join(format!("{bench}.json"))
+                .display()
+        );
     }
     Ok(())
 }

@@ -25,6 +25,9 @@
 //!   the graceful-degradation machinery, and deterministic fault injection
 //!   behind `BOOTES_FAILPOINTS` (see the README "Failure semantics &
 //!   budgets" section).
+//! - [`perf`]: the statistically rigorous bench runner (warmup + repeats,
+//!   median/MAD), the append-only run history, blessed baselines, and the
+//!   noise-aware regression comparator behind `bootes perf diff`.
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@ pub use bootes_linalg as linalg;
 pub use bootes_model as model;
 pub use bootes_obs as obs;
 pub use bootes_par as par;
+pub use bootes_perf as perf;
 pub use bootes_reorder as reorder;
 pub use bootes_sparse as sparse;
 pub use bootes_workloads as workloads;
