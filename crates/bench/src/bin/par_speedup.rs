@@ -1,12 +1,16 @@
 //! Parallel-kernel speedup sweep for `bootes-par`.
 //!
-//! Sweeps the SpGEMM kernels over threads ∈ {1, 2, 4, 8} on a clustered
+//! Sweeps the SpGEMM kernels (dense, hash, and adaptive accumulators), the
+//! similarity product, and SpMV over threads ∈ {1, 2, 4, 8} on a clustered
 //! matrix of ~`BOOTES_PAR_NNZ` nonzeros (default 1e6), verifies every
 //! parallel output is bit-identical to the serial one, and writes
-//! `results/par_speedup.json` with each row carrying the per-region
-//! load-balance attribution (`par.region.imbalance` = max/mean worker busy
-//! time, `par.region.utilization` = Σ busy / (workers × wall)) collected by
-//! the `bootes-obs` worker-chunk timeline.
+//! `results/par_speedup.json`. Each row carries the per-region load-balance
+//! attribution (`par.region.imbalance` = max/mean worker busy time,
+//! `par.region.utilization` = Σ busy / (workers × wall)) plus the clamp
+//! facts the `bootes perf speedup` floor gate needs: `effective_threads`
+//! (nominal count clamped to the hardware) and `clamped`. Rows marked
+//! clamped are skipped by the gate — a 4-thread floor is meaningless on a
+//! 1-cpu container.
 //!
 //! Timing routes through the [`bootes_perf::Runner`] (warmup + repeats,
 //! median/MAD, environment capture), appends every run to
@@ -15,8 +19,7 @@
 
 use bootes_bench::results_dir;
 use bootes_bench::table::{f2, save_json, Table};
-use bootes_sparse::ops::{par_spgemm, par_spgemm_hash};
-use bootes_sparse::CsrMatrix;
+use bootes_sparse::ops::{par_similarity_matrix, par_spgemm, par_spgemm_adaptive, par_spgemm_hash};
 use bootes_workloads::gen::{clustered_with_density, GenConfig};
 use serde::Serialize;
 
@@ -31,6 +34,8 @@ struct SweepRow {
     speedup: f64,
     imbalance: f64,
     utilization: f64,
+    effective_threads: usize,
+    clamped: bool,
 }
 
 /// Reads one `name{label=value}` gauge from the current profile snapshot.
@@ -40,6 +45,74 @@ fn gauge(name: &str) -> f64 {
         .iter()
         .find(|g| g.name == name)
         .map_or(0.0, |g| g.value)
+}
+
+/// Sweeps one kernel over the thread counts, asserting bit-identity against
+/// the 1-thread output and appending a [`SweepRow`] per count.
+///
+/// `region` is the `bootes-obs` region the kernel attributes its workers to
+/// (the imbalance/utilization gauges are read back under that name).
+fn sweep_kernel<R: PartialEq>(
+    runner: &mut bootes_perf::Runner,
+    table: &mut Table,
+    results: &mut Vec<SweepRow>,
+    name: &str,
+    region: &str,
+    nnz: usize,
+    run: impl Fn(usize) -> R,
+) {
+    let sweep = [1usize, 2, 4, 8];
+    let cpus = bootes_par::available();
+    let reference = run(1);
+    let mut serial_median_ms = f64::NAN;
+    for t in sweep {
+        // Attribution rides on the profiling registry: reset so each row's
+        // imbalance/utilization gauges reflect only its own runs.
+        bootes_obs::set_enabled(true);
+        bootes_obs::reset();
+        let m = runner.measure(&format!("{name}/t{t}"), || {
+            let out = run(t);
+            assert!(out == reference, "{name}: t={t} output differs from serial");
+        });
+        let (median_ms, mad_ms, min_ms) = (
+            m.summary.median / 1e6,
+            m.summary.mad / 1e6,
+            m.summary.min / 1e6,
+        );
+        let imbalance = gauge(&format!("par.region.imbalance{{region={region}}}"));
+        let utilization = gauge(&format!("par.region.utilization{{region={region}}}"));
+        if t == 1 {
+            serial_median_ms = median_ms;
+        }
+        let speedup = serial_median_ms / median_ms;
+        let effective_threads = t.min(cpus);
+        let clamped = t > cpus;
+        table.row([
+            name.to_string(),
+            if clamped {
+                format!("{t} (clamped to {effective_threads})")
+            } else {
+                t.to_string()
+            },
+            f2(median_ms),
+            f2(speedup),
+            f2(imbalance),
+            f2(utilization),
+        ]);
+        results.push(SweepRow {
+            kernel: name.to_string(),
+            nnz,
+            threads: t,
+            median_ms,
+            mad_ms,
+            min_ms,
+            speedup,
+            imbalance,
+            utilization,
+            effective_threads,
+            clamped,
+        });
+    }
 }
 
 fn main() {
@@ -54,13 +127,13 @@ fn main() {
     let a = clustered_with_density(&GenConfig::new(n, n).seed(0x0B007E5), 8, 0.9, density)
         .expect("valid generator parameters");
     let b = a.clone();
-    let sweep = [1usize, 2, 4, 8];
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 13) as f64 * 0.25).collect();
     println!(
         "par_speedup: {} x {} matrix, {} nnz, sweeping threads {:?} on {} cpu(s)",
         n,
         n,
         a.nnz(),
-        sweep,
+        [1usize, 2, 4, 8],
         bootes_par::available()
     );
 
@@ -74,61 +147,63 @@ fn main() {
         "util",
     ]);
     let mut results: Vec<SweepRow> = Vec::new();
-    type Kernel =
-        fn(&CsrMatrix, &CsrMatrix, usize) -> Result<CsrMatrix, bootes_sparse::SparseError>;
-    let kernels: [(&str, Kernel); 2] = [
-        ("spgemm.dense_acc", |a, b, t| par_spgemm(a, b, t)),
-        ("spgemm.hash_acc", |a, b, t| par_spgemm_hash(a, b, t)),
-    ];
-    for (name, kernel) in kernels {
-        let reference = kernel(&a, &b, 1).expect("valid operands");
-        let mut serial_median_ms = f64::NAN;
-        for t in sweep {
-            // Attribution rides on the profiling registry: reset so each
-            // row's imbalance/utilization gauges reflect only its own runs.
-            bootes_obs::set_enabled(true);
-            bootes_obs::reset();
-            let m = runner.measure(&format!("{name}/t{t}"), || {
-                let c = kernel(&a, &b, t).expect("valid operands");
-                assert_eq!(c, reference, "{name}: t={t} output differs from serial");
-                c.nnz()
-            });
-            let (median_ms, mad_ms, min_ms) = (
-                m.summary.median / 1e6,
-                m.summary.mad / 1e6,
-                m.summary.min / 1e6,
-            );
-            let imbalance = gauge(&format!("par.region.imbalance{{region={name}}}"));
-            let utilization = gauge(&format!("par.region.utilization{{region={name}}}"));
-            if t == 1 {
-                serial_median_ms = median_ms;
-            }
-            let speedup = serial_median_ms / median_ms;
-            table.row([
-                name.to_string(),
-                t.to_string(),
-                f2(median_ms),
-                f2(speedup),
-                f2(imbalance),
-                f2(utilization),
-            ]);
-            results.push(SweepRow {
-                kernel: name.to_string(),
-                nnz: a.nnz(),
-                threads: t,
-                median_ms,
-                mad_ms,
-                min_ms,
-                speedup,
-                imbalance,
-                utilization,
-            });
-        }
-    }
-    table.print("Parallel SpGEMM sweep (bit-identical outputs; speedup vs t=1 median)");
+    let nnz = a.nnz();
+
+    sweep_kernel(
+        &mut runner,
+        &mut table,
+        &mut results,
+        "spgemm.dense_acc",
+        "spgemm.dense_acc",
+        nnz,
+        |t| par_spgemm(&a, &b, t).expect("valid operands"),
+    );
+    sweep_kernel(
+        &mut runner,
+        &mut table,
+        &mut results,
+        "spgemm.hash_acc",
+        "spgemm.hash_acc",
+        nnz,
+        |t| par_spgemm_hash(&a, &b, t).expect("valid operands"),
+    );
+    sweep_kernel(
+        &mut runner,
+        &mut table,
+        &mut results,
+        "spgemm.adaptive",
+        "spgemm.adaptive",
+        nnz,
+        |t| par_spgemm_adaptive(&a, &b, t).expect("valid operands"),
+    );
+    sweep_kernel(
+        &mut runner,
+        &mut table,
+        &mut results,
+        "similarity.rows",
+        "similarity.rows",
+        nnz,
+        |t| par_similarity_matrix(&a, t),
+    );
+    sweep_kernel(
+        &mut runner,
+        &mut table,
+        &mut results,
+        "spmv",
+        "spmv",
+        nnz,
+        |t| {
+            let mut y = vec![0.0f64; n];
+            a.par_matvec_into(&x, &mut y, t);
+            y
+        },
+    );
+
+    table.print("Parallel kernel sweep (bit-identical outputs; speedup vs t=1 median)");
     if bootes_par::available() < 4 {
         println!(
-            "note: only {} cpu(s) available; thread counts above that are oversubscribed",
+            "note: only {} cpu(s) available; rows above that count are marked clamped \
+             and skipped by `bootes perf speedup`",
             bootes_par::available()
         );
     }

@@ -244,7 +244,7 @@ fn assign_all(
     dists: &mut [f64],
     threads: usize,
 ) -> Result<(), LinalgError> {
-    let ranges = bootes_par::partition_even(points.nrows(), threads);
+    let ranges = bootes_par::partition_even(points.nrows(), bootes_par::chunk_count(threads));
     if bootes_obs::enabled() {
         // One squared-distance per (point, centroid) pair: d multiplies, d
         // subtracts, d adds; traffic reads each point row once per centroid

@@ -41,15 +41,18 @@
 //! | `kmeans.run` | `bootes-linalg` — one seeded k-means attempt |
 //! | `accel.simulate` | `bootes-accel` — full SpGEMM simulation |
 //! | `accel.symbolic` | `bootes-accel` — symbolic output sizing |
-//! | `spgemm.dense_acc` / `spgemm.hash_acc` / `spgemm.block` | `bootes-sparse` kernels |
+//! | `spgemm.dense_acc` / `spgemm.hash_acc` / `spgemm.adaptive` / `spgemm.block` | `bootes-sparse` kernels |
 //! | `par.worker` | `bootes-par` — one worker thread's share of a parallel kernel |
 //! | `reorder.fallback` | `bootes-core` — one pass of the graceful-degradation chain |
 //!
 //! Parallel regions additionally record **worker-chunk events** (region,
 //! worker lane, chunk index, row range, weight, wall-ns) via
 //! [`record_worker_chunk`]; these appear as per-worker lanes in the Chrome
-//! trace and are aggregated by `bootes-par` into the `par.region.*` metrics
-//! below.
+//! trace. Chunk events are gated separately behind [`chunk_timeline`]
+//! (enabled by the CLI for `--trace-out`): with profiling on but the
+//! timeline off, `bootes-par` still publishes the aggregate `par.region.*`
+//! metrics below from one timing per worker, skipping the per-chunk clock
+//! reads and record pushes.
 //!
 //! Counters:
 //!
@@ -75,6 +78,9 @@
 //! | `par.region.wall_ns{region=<name>}` | accumulated wall time of the named parallel region across invocations (`bootes-par`) |
 //! | `par.region.busy_ns{region=<name>}` | accumulated worker busy time of the named region (sum over chunks) |
 //! | `par.region.invocations` | parallel region invocations that recorded attribution |
+//! | `par.pool.spawned` | worker threads spawned by the persistent `bootes-par` pool (lifetime total) |
+//! | `par.pool.dispatches` | worker-slot jobs dispatched to the pool (one per worker per region invocation) |
+//! | `spgemm.acc_choice{acc=dense}` / `{acc=hash}` / `{acc=merge}` | rows the adaptive SpGEMM routed to each accumulator variant (`bootes-sparse`) |
 //!
 //! The `kernel.*` counters pair with `par.region.wall_ns` under the same
 //! name to yield achieved MFLOP/s and GB/s per kernel (see
@@ -126,6 +132,23 @@ pub fn enabled() -> bool {
 /// Turns profiling on or off process-wide.
 pub fn set_enabled(on: bool) {
     registry::ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Returns whether per-chunk timeline recording is active: profiling must be
+/// enabled *and* the timeline switch set. Parallel regions only pay the
+/// per-chunk clock reads and [`ChunkRecord`] pushes when this returns true;
+/// with profiling on but the timeline off they record aggregate
+/// `par.region.*` metrics from one timing per worker instead.
+#[inline]
+pub fn chunk_timeline() -> bool {
+    enabled() && registry::CHUNK_TIMELINE.load(Ordering::Relaxed)
+}
+
+/// Turns per-chunk timeline recording on or off. The CLI enables it for
+/// `--trace-out` (the Chrome trace's per-worker lanes are built from chunk
+/// events); plain `--profile` runs leave it off.
+pub fn set_chunk_timeline(on: bool) {
+    registry::CHUNK_TIMELINE.store(on, Ordering::Relaxed);
 }
 
 /// Enables profiling when `BOOTES_PROFILE` is set to `1` or `true`.
@@ -322,6 +345,7 @@ mod tests {
     #[test]
     fn worker_chunks_get_labeled_stable_lanes() {
         let trace = with_profiling(|| {
+            set_chunk_timeline(true);
             std::thread::scope(|scope| {
                 for slot in 0..2usize {
                     scope.spawn(move || {
@@ -333,7 +357,9 @@ mod tests {
                 }
             });
             assert_eq!(worker_chunks().len(), 2);
-            export_chrome_trace()
+            let trace = export_chrome_trace();
+            set_chunk_timeline(false);
+            trace
         });
         let v: serde::Value = serde_json::from_str(&trace).expect("trace parses");
         let events = v
@@ -374,9 +400,17 @@ mod tests {
     fn disabled_chunk_recording_is_inert() {
         let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         reset();
+        // Disabled profiling is inert even with the timeline switch set...
         set_enabled(false);
+        set_chunk_timeline(true);
         record_worker_chunk("ghost.region", 0, 0..8, 8, 0, 100);
         assert!(worker_chunks().is_empty());
+        // ...and enabled profiling without the timeline switch is too.
+        set_enabled(true);
+        set_chunk_timeline(false);
+        record_worker_chunk("ghost.region", 0, 0..8, 8, 0, 100);
+        assert!(worker_chunks().is_empty());
+        set_enabled(false);
     }
 
     #[test]

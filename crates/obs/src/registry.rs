@@ -17,6 +17,12 @@ use std::time::Instant;
 /// only gates whether events are recorded, never synchronizes data.
 pub(crate) static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// Per-chunk timeline switch, off by default even while profiling is
+/// enabled: individual [`ChunkRecord`] events (two clock reads + a global
+/// mutex push per chunk) are only worth paying for when a Chrome trace
+/// export was requested. Aggregate `par.region.*` metrics do not need it.
+pub(crate) static CHUNK_TIMELINE: AtomicBool = AtomicBool::new(false);
+
 /// Spans recorded beyond this cap are counted but not stored, bounding
 /// memory on pathological workloads (e.g. per-row spans on huge matrices).
 pub(crate) const MAX_SPAN_RECORDS: usize = 1 << 18;
@@ -173,8 +179,8 @@ pub fn pin_worker_tid(slot: usize) -> u64 {
 }
 
 /// Records one worker chunk of a parallel region (worker lane attribution).
-/// The recording thread's tid is captured automatically. No-op while
-/// profiling is disabled.
+/// The recording thread's tid is captured automatically. No-op unless the
+/// chunk timeline is enabled ([`crate::chunk_timeline`]).
 pub fn record_worker_chunk(
     region: &str,
     chunk: usize,
@@ -183,11 +189,22 @@ pub fn record_worker_chunk(
     start_ns: u64,
     dur_ns: u64,
 ) {
-    if !crate::enabled() {
+    if !crate::chunk_timeline() {
         return;
     }
     let reg = registry();
     let tid = thread_tid();
+    // Persistent pool workers pin their tid once at spawn, possibly before
+    // profiling was enabled (and `reset` clears lane names between runs), so
+    // the lane name is (re-)registered at record time.
+    if tid >= WORKER_TID_BASE {
+        let slot = tid - WORKER_TID_BASE;
+        reg.thread_names
+            .lock()
+            .unwrap()
+            .entry(tid)
+            .or_insert_with(|| format!("worker-{slot}"));
+    }
     let mut chunks = reg.chunks.lock().unwrap();
     if chunks.len() >= MAX_CHUNK_RECORDS {
         reg.dropped_chunks.fetch_add(1, Ordering::Relaxed);

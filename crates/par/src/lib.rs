@@ -3,13 +3,22 @@
 //! Deterministic multi-threading primitives for the Bootes kernels.
 //!
 //! The vendored dependency stand-ins provide no rayon, so this crate builds
-//! the little that the workspace needs directly on [`std::thread::scope`]:
+//! the little that the workspace needs directly on the standard library:
 //!
 //! - a process-wide thread-count policy ([`threads`]) resolved from
 //!   [`set_threads`] (the CLI's `--threads N`), the `BOOTES_THREADS`
-//!   environment variable, or [`std::thread::available_parallelism`],
+//!   environment variable, or [`std::thread::available_parallelism`] — and
+//!   always clamped to the hardware ([`threads_clamped`] reports when the
+//!   request exceeded it, so benchmarks can refuse to compare oversubscribed
+//!   runs),
+//! - a lazily-initialized **persistent worker pool** ([`pool`]) of parked
+//!   threads on plain channels that every combinator routes through, so a
+//!   caller issuing thousands of small regions (one SpMV per Lanczos
+//!   iteration) pays a channel send per region instead of a thread
+//!   spawn + join,
 //! - a weighted contiguous range partitioner ([`partition_weighted`]) that
-//!   balances nnz/flop work across chunks,
+//!   balances nnz/flop work across chunks, plus [`chunk_count`] for the
+//!   standard oversubscription factor fed to it,
 //! - ordered-merge parallel combinators ([`map_ranges`], [`map_indices`],
 //!   [`for_each_chunk_mut`], [`join`]) whose results are stitched back in
 //!   chunk order.
@@ -24,27 +33,39 @@
 //! order-canonical (e.g. summing partial floating-point results in chunk
 //! order, or deferring the reduction to a serial pass in index order).
 //!
+//! Workers claim chunks dynamically (an atomic counter), so *which* worker
+//! runs a chunk is scheduling-dependent — but chunk results themselves are
+//! pure functions of `(chunk_index, range)`, and the merge ignores worker
+//! identity entirely.
+//!
+//! # Nested regions
+//!
+//! A parallel region started *from* a pool worker (e.g. the recursive
+//! bisection halves each running parallel kernels) runs inline on that
+//! worker instead of re-entering the pool — dispatching to the pool from
+//! inside it could deadlock, and outer-level parallelism already owns the
+//! cores. [`try_join`] spawns its own scoped thread and is unaffected.
+//!
 //! # Per-worker attribution
 //!
-//! Worker threads record their busy time under the `par.worker` span through
-//! the `bootes-obs` registry, so profiles show per-thread utilization.
-//!
 //! The `*_in` combinator variants ([`try_map_ranges_in`],
-//! [`try_for_each_chunk_mut_in`], ...) additionally take a **region name**
-//! (conventionally the kernel's span name, e.g. `"spgemm.dense_acc"`). While
-//! profiling is enabled, every chunk is timed individually and recorded as a
-//! worker-chunk event (worker lane, chunk index, row range, weight,
-//! wall-ns), workers pin stable Perfetto lane ids (`worker-0`, `worker-1`,
-//! ...), and each region invocation aggregates:
+//! [`try_for_each_chunk_mut_in`], ...) take a **region name** (conventionally
+//! the kernel's span name, e.g. `"spgemm.dense_acc"`). While profiling is
+//! enabled, each invocation aggregates:
 //!
 //! - `par.region.imbalance{region=<name>}` — max/mean worker busy time,
 //! - `par.region.utilization{region=<name>}` — Σ busy / (workers × wall),
 //! - `par.region.wall_ns` / `par.region.busy_ns{region=<name>}` counters,
 //! - a `par.region.chunks_per_worker{region=<name>}` histogram.
 //!
-//! The unnamed combinators attribute to the `"par.unnamed"` region. With
+//! Per-chunk timeline events (worker lane, chunk index, row range, weight,
+//! wall-ns — the Chrome-trace worker lanes) are gated separately behind
+//! `bootes_obs::chunk_timeline()`, which the CLI enables for `--trace-out`:
+//! with profiling on but the timeline off, workers time their whole loop
+//! once instead of every chunk, and no `ChunkRecord` is pushed. With
 //! profiling disabled the attribution path costs one relaxed atomic load per
-//! region — no clock reads, no allocation.
+//! region — no clock reads, no allocation. The unnamed combinators attribute
+//! to the `"par.unnamed"` region.
 //!
 //! # Panic isolation
 //!
@@ -61,10 +82,12 @@
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 pub use bootes_guard::GuardError;
+
+pub mod pool;
 
 /// Region name the unnamed combinators attribute their chunk timings to.
 pub const UNNAMED_REGION: &str = "par.unnamed";
@@ -87,10 +110,10 @@ pub fn set_threads(n: usize) {
     EXPLICIT.store(n, Ordering::Relaxed);
 }
 
-/// The thread count kernels should use: an explicit [`set_threads`] value if
-/// one was set, else `BOOTES_THREADS` from the environment (read once), else
-/// [`available`] parallelism.
-pub fn threads() -> usize {
+/// The thread count the user asked for, before hardware clamping: an
+/// explicit [`set_threads`] value if one was set, else `BOOTES_THREADS` from
+/// the environment (read once), else [`available`] parallelism.
+pub fn requested_threads() -> usize {
     match EXPLICIT.load(Ordering::Relaxed) {
         0 => *DEFAULT.get_or_init(|| {
             std::env::var("BOOTES_THREADS")
@@ -103,14 +126,64 @@ pub fn threads() -> usize {
     }
 }
 
+/// The effective thread count kernels should use: [`requested_threads`]
+/// clamped to [`available`] parallelism.
+///
+/// Running more compute-bound workers than hardware threads only adds
+/// scheduler thrash (the pre-clamp 8-thread sweeps showed ~95 ms MAD from
+/// oversubscription), so requests beyond the hardware are capped here, at
+/// the single policy choke point. [`threads_clamped`] reports when the cap
+/// engaged so benchmark records can refuse cross-machine comparisons.
+pub fn threads() -> usize {
+    requested_threads().min(available())
+}
+
+/// Whether [`threads`] is currently clamping a request that exceeds the
+/// hardware ([`requested_threads`] > [`available`]).
+pub fn threads_clamped() -> bool {
+    requested_threads() > available()
+}
+
+/// The standard chunk-count for dynamically-claimed regions: a small
+/// multiple of the worker count, so stragglers can be rebalanced without
+/// letting per-chunk overhead (claim + merge bookkeeping, and timeline
+/// records when tracing) grow unbounded. `1` when the region is serial.
+pub fn chunk_count(threads: usize) -> usize {
+    if threads <= 1 {
+        1
+    } else {
+        (threads * 4).min(512)
+    }
+}
+
+fn even_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        if len == 0 {
+            break;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
 /// Splits `0..n` into at most `parts` contiguous ranges of approximately
 /// equal total weight.
 ///
-/// `weight(i)` is the cost of item `i` (e.g. a row's nnz); every weight is
-/// padded by 1 so zero-weight items still spread across parts. The returned
-/// ranges are non-empty, in order, and cover `0..n` exactly; fewer than
-/// `parts` ranges are returned when `n < parts` or when heavy head items
-/// exhaust the weight early.
+/// `weight(i)` is the cost of item `i` (e.g. a row's nnz or flops) and is
+/// evaluated twice per item (total pass + assignment pass) instead of being
+/// materialized. Weights are **not** padded: a run of zero-weight items
+/// (empty rows) carries no cost and attracts no partition boundary — it
+/// rides along with the nearest weighted work. When every item has zero
+/// weight the split degenerates to [`partition_even`]. The returned ranges
+/// are non-empty, in order, and cover `0..n` exactly; fewer than `parts`
+/// ranges are returned when `n < parts` or when heavy head items exhaust the
+/// weight early.
 pub fn partition_weighted(
     n: usize,
     parts: usize,
@@ -125,17 +198,22 @@ pub fn partition_weighted(
         #[allow(clippy::single_range_in_vec_init)]
         return vec![0..n];
     }
-    let w: Vec<u64> = (0..n).map(|i| weight(i).saturating_add(1)).collect();
-    let total: u64 = w.iter().sum();
+    let total: u64 = (0..n).map(&weight).sum();
+    if total == 0 {
+        return even_ranges(n, parts);
+    }
     let mut ranges: Vec<Range<usize>> = Vec::with_capacity(parts);
     let mut start = 0usize;
     let mut acc = 0u64;
     let mut done = 0u64;
-    for (i, &wi) in w.iter().enumerate() {
-        acc += wi;
-        // Close the chunk once it holds an even share of the remaining work,
+    for i in 0..n {
+        acc += weight(i);
+        // Close the chunk once it holds an even share of the remaining work
+        // (at least 1, so zero-weight runs never force empty shares),
         // leaving at least one part for the tail.
-        let share = (total - done).div_ceil((parts - ranges.len()) as u64);
+        let share = (total - done)
+            .div_ceil((parts - ranges.len()) as u64)
+            .max(1);
         if acc >= share && ranges.len() + 1 < parts {
             ranges.push(start..i + 1);
             start = i + 1;
@@ -151,7 +229,11 @@ pub fn partition_weighted(
 
 /// Splits `0..n` into at most `parts` contiguous ranges of near-equal length.
 pub fn partition_even(n: usize, parts: usize) -> Vec<Range<usize>> {
-    partition_weighted(n, parts, |_| 0)
+    let parts = parts.max(1).min(n);
+    if n == 0 {
+        return Vec::new();
+    }
+    even_ranges(n, parts)
 }
 
 /// Per-worker attribution tally for one parallel region invocation.
@@ -181,17 +263,21 @@ fn run_chunk<R>(
     }
 }
 
-/// [`run_chunk`] with per-chunk attribution: while profiling is enabled the
-/// chunk is timed, recorded as a worker-chunk event in the calling thread's
-/// lane, and tallied into `stats`. Inert (no clock read) while disabled.
-fn run_chunk_timed<R>(
+/// [`run_chunk`] with optional per-chunk timeline attribution: when
+/// `timeline` is set the chunk is timed, recorded as a worker-chunk event in
+/// the calling thread's lane, and its duration tallied into `stats`. With
+/// the timeline off only the chunk count is tallied (no clock reads) — the
+/// caller then charges `stats.busy_ns` once from its whole claim loop.
+fn run_chunk_accounted<R>(
     region: &str,
+    timeline: bool,
     i: usize,
     range: Range<usize>,
     f: &(impl Fn(usize, Range<usize>) -> R + Sync),
     stats: &mut WorkerStats,
 ) -> Result<R, GuardError> {
-    if !bootes_obs::enabled() {
+    stats.chunks += 1;
+    if !timeline {
         return run_chunk(i, range, f);
     }
     let start_ns = bootes_obs::epoch_ns();
@@ -201,7 +287,6 @@ fn run_chunk_timed<R>(
     let res = run_chunk(i, range, f);
     let dur_ns = started.elapsed().as_nanos() as u64;
     stats.busy_ns += dur_ns;
-    stats.chunks += 1;
     bootes_obs::record_worker_chunk(region, i, recorded, weight, start_ns, dur_ns);
     res
 }
@@ -241,15 +326,16 @@ fn record_region(region: &str, wall_ns: u64, workers: &[WorkerStats]) {
     }
 }
 
-/// Applies `f` to every range on up to `threads` worker threads and returns
+/// Applies `f` to every range on up to `threads` pool workers and returns
 /// the results **in range order** (the ordered merge), or the first (lowest
 /// chunk index) [`GuardError`] if a chunk panicked or an armed failpoint
 /// fired.
 ///
 /// `f(chunk_index, range)` must be a pure function of its arguments for the
-/// determinism guarantee to carry through to the caller. With `threads <= 1`
-/// or a single range the closure runs inline on the calling thread (and
-/// stops at the first failing chunk instead of attempting the rest).
+/// determinism guarantee to carry through to the caller. With `threads <= 1`,
+/// a single range, or when called from inside a pool worker (nested region),
+/// the closure runs inline on the calling thread (and stops at the first
+/// failing chunk instead of attempting the rest).
 pub fn try_map_ranges<R, F>(
     threads: usize,
     ranges: &[Range<usize>],
@@ -263,9 +349,9 @@ where
 }
 
 /// [`try_map_ranges`] attributed to the named region: while profiling is
-/// enabled, each chunk is timed into its worker's Perfetto lane and the
-/// invocation records the `par.region.*` imbalance/utilization metrics
-/// under `region` (use the kernel's span name).
+/// enabled the invocation records the `par.region.*` imbalance/utilization
+/// metrics under `region` (use the kernel's span name), and when the chunk
+/// timeline is also on each chunk lands in its worker's Perfetto lane.
 pub fn try_map_ranges_in<R, F>(
     region: &str,
     threads: usize,
@@ -277,57 +363,65 @@ where
     F: Fn(usize, Range<usize>) -> R + Sync,
 {
     let profiled = bootes_obs::enabled();
+    let timeline = bootes_obs::chunk_timeline();
     let region_start = profiled.then(Instant::now);
-    if threads <= 1 || ranges.len() <= 1 {
+    let workers = threads.min(ranges.len());
+    if workers <= 1 || pool::in_worker() {
         let mut stats = WorkerStats::default();
         let results: Result<Vec<R>, GuardError> = ranges
             .iter()
             .cloned()
             .enumerate()
-            .map(|(i, r)| run_chunk_timed(region, i, r, &f, &mut stats))
+            .map(|(i, r)| run_chunk_accounted(region, timeline, i, r, &f, &mut stats))
             .collect();
         if let Some(start) = region_start {
-            record_region(region, start.elapsed().as_nanos() as u64, &[stats]);
+            let wall_ns = start.elapsed().as_nanos() as u64;
+            if !timeline {
+                stats.busy_ns = wall_ns;
+            }
+            record_region(region, wall_ns, &[stats]);
         }
         return results;
     }
-    let workers = threads.min(ranges.len());
     let next = AtomicUsize::new(0);
+    type SlotOutput<R> = Option<(Vec<(usize, Result<R, GuardError>)>, WorkerStats)>;
+    let cells: Vec<Mutex<SlotOutput<R>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+    {
+        let slot_body = |slot: usize| {
+            let _span = bootes_obs::span!("par.worker");
+            let mut produced: Vec<(usize, Result<R, GuardError>)> = Vec::new();
+            let mut stats = WorkerStats::default();
+            let loop_start = profiled.then(Instant::now);
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ranges.len() {
+                    break;
+                }
+                produced.push((
+                    i,
+                    run_chunk_accounted(region, timeline, i, ranges[i].clone(), &f, &mut stats),
+                ));
+            }
+            if let Some(start) = loop_start {
+                if !timeline {
+                    stats.busy_ns = start.elapsed().as_nanos() as u64;
+                }
+            }
+            *cells[slot].lock().unwrap_or_else(|p| p.into_inner()) = Some((produced, stats));
+        };
+        pool::run(workers, &slot_body);
+    }
     let mut out: Vec<Option<Result<R, GuardError>>> = Vec::with_capacity(ranges.len());
     out.resize_with(ranges.len(), || None);
     let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|slot| {
-                let next = &next;
-                let f = &f;
-                scope.spawn(move || {
-                    bootes_obs::pin_worker_tid(slot);
-                    let _span = bootes_obs::span!("par.worker");
-                    let mut produced = Vec::new();
-                    let mut stats = WorkerStats::default();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= ranges.len() {
-                            break;
-                        }
-                        produced.push((
-                            i,
-                            run_chunk_timed(region, i, ranges[i].clone(), f, &mut stats),
-                        ));
-                    }
-                    (produced, stats)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (produced, stats) = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+    for cell in cells {
+        if let Some((produced, stats)) = cell.into_inner().unwrap_or_else(|p| p.into_inner()) {
             worker_stats.push(stats);
             for (i, r) in produced {
                 out[i] = Some(r);
             }
         }
-    });
+    }
     if let Some(start) = region_start {
         record_region(region, start.elapsed().as_nanos() as u64, &worker_stats);
     }
@@ -373,7 +467,7 @@ where
     }
 }
 
-/// Applies `f` to every index in `0..n` on up to `threads` worker threads,
+/// Applies `f` to every index in `0..n` on up to `threads` pool workers,
 /// returning results in index order, or the first failing index's
 /// [`GuardError`]. Convenience wrapper over [`try_map_ranges`] for
 /// coarse-grained tasks (e.g. independent k-means restarts).
@@ -427,13 +521,14 @@ where
     }
 }
 
-/// Runs `f` over disjoint mutable chunks of `data`, one scoped thread per
-/// range (so `ranges` should come from a partitioner called with
-/// `parts <= threads`).
+/// Runs `f` over disjoint mutable chunks of `data` on up to `threads` pool
+/// workers, chunks claimed dynamically.
 ///
 /// `ranges` must be contiguous, in order, and cover `0..data.len()` exactly;
 /// `f(chunk_index, range, chunk)` receives the chunk's global index range so
-/// it can address global state (e.g. the row index of a matvec).
+/// it can address global state (e.g. the row index of a matvec). More ranges
+/// than workers is fine (and recommended — see [`chunk_count`]): workers
+/// claim the next unclaimed chunk as they finish.
 ///
 /// # Panics
 ///
@@ -457,8 +552,7 @@ where
 }
 
 /// [`try_for_each_chunk_mut`] attributed to the named region (see
-/// [`try_map_ranges_in`]). One thread per range, so worker `slot == chunk
-/// index` and each lane runs exactly one chunk.
+/// [`try_map_ranges_in`]).
 pub fn try_for_each_chunk_mut_in<T, F>(
     region: &str,
     threads: usize,
@@ -477,6 +571,7 @@ where
     }
     assert_eq!(expected, data.len(), "ranges must cover the whole slice");
     let profiled = bootes_obs::enabled();
+    let timeline = bootes_obs::chunk_timeline();
     let region_start = profiled.then(Instant::now);
     let run = |i: usize, r: Range<usize>, chunk: &mut [T]| -> Result<(), GuardError> {
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -492,12 +587,13 @@ where
             }),
         }
     };
-    let run_timed = |i: usize,
-                     r: Range<usize>,
-                     chunk: &mut [T],
-                     stats: &mut WorkerStats|
+    let run_accounted = |i: usize,
+                         r: Range<usize>,
+                         chunk: &mut [T],
+                         stats: &mut WorkerStats|
      -> Result<(), GuardError> {
-        if !profiled {
+        stats.chunks += 1;
+        if !timeline {
             return run(i, r, chunk);
         }
         let start_ns = bootes_obs::epoch_ns();
@@ -507,60 +603,97 @@ where
         let res = run(i, r, chunk);
         let dur_ns = started.elapsed().as_nanos() as u64;
         stats.busy_ns += dur_ns;
-        stats.chunks += 1;
         bootes_obs::record_worker_chunk(region, i, recorded, weight, start_ns, dur_ns);
         res
     };
-    if threads <= 1 || ranges.len() <= 1 {
+    let workers = threads.min(ranges.len());
+    if workers <= 1 || pool::in_worker() {
         let mut stats = WorkerStats::default();
         let mut result = Ok(());
         for (i, r) in ranges.iter().enumerate() {
-            result = run_timed(i, r.clone(), &mut data[r.clone()], &mut stats);
+            result = run_accounted(i, r.clone(), &mut data[r.clone()], &mut stats);
             if result.is_err() {
                 break;
             }
         }
         if let Some(start) = region_start {
-            record_region(region, start.elapsed().as_nanos() as u64, &[stats]);
+            let wall_ns = start.elapsed().as_nanos() as u64;
+            if !timeline {
+                stats.busy_ns = wall_ns;
+            }
+            record_region(region, wall_ns, &[stats]);
         }
         return result;
     }
-    let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(ranges.len());
-    let result = std::thread::scope(|scope| {
-        let run_timed = &run_timed;
+    // Pre-split the slice so dynamically-claiming workers can each take
+    // exclusive ownership of a chunk through its cell.
+    let mut chunk_cells: Vec<Mutex<Option<&mut [T]>>> = Vec::with_capacity(ranges.len());
+    {
         let mut rest = data;
-        let mut handles = Vec::with_capacity(ranges.len());
-        for (i, r) in ranges.iter().enumerate() {
+        for r in ranges {
             let (chunk, tail) = rest.split_at_mut(r.len());
             rest = tail;
-            let r = r.clone();
-            handles.push(scope.spawn(move || {
-                bootes_obs::pin_worker_tid(i);
-                let _span = bootes_obs::span!("par.worker");
-                let mut stats = WorkerStats::default();
-                let res = run_timed(i, r, chunk, &mut stats);
-                (res, stats)
-            }));
+            chunk_cells.push(Mutex::new(Some(chunk)));
         }
-        let mut first_err = None;
-        for h in handles {
-            let (res, stats) = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+    }
+    let next = AtomicUsize::new(0);
+    type SlotOutput = Option<(Vec<(usize, Result<(), GuardError>)>, WorkerStats)>;
+    let cells: Vec<Mutex<SlotOutput>> = (0..workers).map(|_| Mutex::new(None)).collect();
+    {
+        let run_accounted = &run_accounted;
+        let slot_body = |slot: usize| {
+            let _span = bootes_obs::span!("par.worker");
+            let mut produced: Vec<(usize, Result<(), GuardError>)> = Vec::new();
+            let mut stats = WorkerStats::default();
+            let loop_start = profiled.then(Instant::now);
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ranges.len() {
+                    break;
+                }
+                let taken = chunk_cells[i]
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take();
+                let res = match taken {
+                    Some(chunk) => run_accounted(i, ranges[i].clone(), chunk, &mut stats),
+                    None => Err(GuardError::Panic {
+                        site: "par.worker".to_string(),
+                        message: format!("chunk {i} claimed twice"),
+                    }),
+                };
+                produced.push((i, res));
+            }
+            if let Some(start) = loop_start {
+                if !timeline {
+                    stats.busy_ns = start.elapsed().as_nanos() as u64;
+                }
+            }
+            *cells[slot].lock().unwrap_or_else(|p| p.into_inner()) = Some((produced, stats));
+        };
+        pool::run(workers, &slot_body);
+    }
+    let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
+    let mut first_err: Option<(usize, GuardError)> = None;
+    for cell in cells {
+        if let Some((produced, stats)) = cell.into_inner().unwrap_or_else(|p| p.into_inner()) {
             worker_stats.push(stats);
-            if let Err(e) = res {
-                if first_err.is_none() {
-                    first_err = Some(e);
+            for (i, res) in produced {
+                if let Err(e) = res {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
                 }
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
-    });
+    }
     if let Some(start) = region_start {
         record_region(region, start.elapsed().as_nanos() as u64, &worker_stats);
     }
-    result
+    match first_err {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Infallible [`try_for_each_chunk_mut`]: re-raises a chunk's [`GuardError`]
@@ -595,7 +728,9 @@ pub fn for_each_chunk_mut_in<T, F>(
 
 /// Runs `fa` and `fb`, concurrently when `parallel` is true, and returns both
 /// results as `(a, b)` — the deterministic two-way fork for recursive
-/// divide-and-conquer (e.g. spectral bisection halves). If either side
+/// divide-and-conquer (e.g. spectral bisection halves). The `a` side runs on
+/// its own scoped thread (not the pool: a join is a control-flow fork, and
+/// its halves routinely start pool regions of their own). If either side
 /// panics or trips the `par.worker` failpoint, the `a` side's error is
 /// reported first (deterministically), and the process survives.
 pub fn try_join<A, B, FA, FB>(parallel: bool, fa: FA, fb: FB) -> Result<(A, B), GuardError>
@@ -683,11 +818,40 @@ mod tests {
     }
 
     #[test]
+    fn partition_ignores_empty_row_runs() {
+        // 90 empty rows then 10 weighted rows: the old per-row +1 padding
+        // placed most boundaries inside the empty head; now every part must
+        // hold some real weight (the empty run rides along with part 0).
+        let ranges = partition_weighted(100, 4, |i| if i < 90 { 0 } else { 100 });
+        assert_tiles(&ranges, 100);
+        for r in &ranges {
+            assert!(r.end > 90, "part {r:?} holds no weighted row");
+        }
+        assert_eq!(ranges.len(), 4);
+    }
+
+    #[test]
+    fn partition_all_zero_weights_splits_evenly() {
+        let ranges = partition_weighted(12, 4, |_| 0);
+        assert_tiles(&ranges, 12);
+        assert_eq!(ranges.len(), 4);
+        assert!(ranges.iter().all(|r| r.len() == 3), "{ranges:?}");
+    }
+
+    #[test]
     fn partition_even_balances_lengths() {
         let ranges = partition_even(10, 3);
         assert_tiles(&ranges, 10);
         let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
         assert!(lens.iter().all(|&l| (3..=4).contains(&l)), "{lens:?}");
+    }
+
+    #[test]
+    fn chunk_count_scales_with_threads() {
+        assert_eq!(chunk_count(0), 1);
+        assert_eq!(chunk_count(1), 1);
+        assert_eq!(chunk_count(4), 16);
+        assert_eq!(chunk_count(1000), 512);
     }
 
     #[test]
@@ -718,6 +882,20 @@ mod tests {
     }
 
     #[test]
+    fn for_each_chunk_mut_takes_more_chunks_than_workers() {
+        // Oversubscribed chunking: 16 chunks on 3 workers.
+        let mut data = vec![0usize; 64];
+        let ranges = partition_even(data.len(), 16);
+        assert_eq!(ranges.len(), 16);
+        for_each_chunk_mut(3, &mut data, &ranges, |_, range, chunk| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = range.start + off;
+            }
+        });
+        assert_eq!(data, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
     #[should_panic(expected = "tile the slice")]
     fn for_each_chunk_mut_rejects_gaps() {
         let mut data = vec![0usize; 4];
@@ -733,11 +911,32 @@ mod tests {
     }
 
     #[test]
-    fn explicit_thread_count_wins() {
+    fn nested_regions_run_inline_without_deadlock() {
+        // An outer pool region whose chunks each start an inner region: the
+        // inner ones must run inline on the pool workers instead of
+        // re-entering the pool (which could deadlock).
+        let ranges = partition_even(8, 4);
+        let out = map_ranges(4, &ranges, |_, r| {
+            let inner = partition_even(6, 2);
+            let sums = map_ranges(2, &inner, |_, ir| ir.len());
+            r.len() + sums.iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn explicit_thread_count_wins_and_clamps() {
         set_threads(3);
-        assert_eq!(threads(), 3);
+        assert_eq!(requested_threads(), 3);
+        assert_eq!(threads(), 3.min(available()));
+        // A request beyond the hardware is clamped and reported as such.
+        set_threads(available() + 7);
+        assert_eq!(requested_threads(), available() + 7);
+        assert_eq!(threads(), available());
+        assert!(threads_clamped());
         set_threads(0);
         assert!(threads() >= 1);
+        assert!(threads() <= available());
     }
 
     // Failpoints are process-global; serialize the tests that arm them.
@@ -820,6 +1019,7 @@ mod tests {
         let _g = fp_serial();
         bootes_guard::clear_failpoints();
         bootes_obs::set_enabled(true);
+        bootes_obs::set_chunk_timeline(true);
         bootes_obs::reset();
         let ranges = partition_even(64, 4);
         let out = map_ranges_in("test.attr", 4, &ranges, |_, r| {
@@ -833,6 +1033,7 @@ mod tests {
         assert_eq!(out.len(), 4);
         let profile = bootes_obs::snapshot();
         let chunks = bootes_obs::worker_chunks();
+        bootes_obs::set_chunk_timeline(false);
         bootes_obs::set_enabled(false);
         bootes_obs::reset();
 
@@ -859,6 +1060,34 @@ mod tests {
             assert!(c.tid >= 10_000, "worker lane tid, got {}", c.tid);
             assert_eq!(c.weight, c.range.len() as u64);
         }
+    }
+
+    #[test]
+    fn profiled_without_timeline_skips_chunk_records() {
+        // Satellite regression test: profiling on but no trace export
+        // requested — the region gauges must appear, but not a single
+        // ChunkRecord may be pushed.
+        let _g = fp_serial();
+        bootes_guard::clear_failpoints();
+        bootes_obs::set_enabled(true);
+        bootes_obs::set_chunk_timeline(false);
+        bootes_obs::reset();
+        let ranges = partition_even(64, 8);
+        let out = map_ranges_in("test.notimeline", 4, &ranges, |i, _| i);
+        let profile = bootes_obs::snapshot();
+        let chunks = bootes_obs::worker_chunks();
+        bootes_obs::set_enabled(false);
+        bootes_obs::reset();
+        assert_eq!(out.len(), 8);
+        assert!(chunks.is_empty(), "timeline off => zero ChunkRecords");
+        assert!(
+            gauge(&profile, "par.region.utilization{region=test.notimeline}").is_some(),
+            "aggregate region metrics still recorded"
+        );
+        assert!(profile
+            .counters
+            .iter()
+            .any(|c| c.name == "par.region.busy_ns{region=test.notimeline}" && c.value > 0));
     }
 
     #[test]

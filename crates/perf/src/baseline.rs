@@ -33,6 +33,11 @@ pub struct Baseline {
     pub git_rev: String,
     /// Config hash the baseline was blessed under.
     pub config_hash: String,
+    /// Whether the blessing run's thread request was clamped to the
+    /// hardware ([`crate::BenchEnv::threads_clamped`]). A clamped baseline
+    /// and an unclamped current run (or vice versa) are incomparable.
+    #[serde(default)]
+    pub threads_clamped: bool,
     /// Per-case blessed summaries.
     pub cases: Vec<BaselineCase>,
 }
@@ -59,6 +64,7 @@ pub fn bless(results_root: &Path, bench: &str, records: &[Measurement]) -> std::
         bench: bench.to_string(),
         git_rev: first.env.git_rev.clone(),
         config_hash: first.env.config_hash.clone(),
+        threads_clamped: first.env.threads_clamped,
         cases: records
             .iter()
             .map(|m| BaselineCase {
@@ -141,6 +147,21 @@ mod tests {
         assert_eq!(loaded.cases[0].summary, records[0].summary);
         assert_eq!(list_baselines(&dir), vec!["bl_bench".to_string()]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_clamp_baseline_files_still_load() {
+        // Baselines blessed before the clamp flag existed have no
+        // `threads_clamped` key; `#[serde(default)]` must fill in `false`.
+        let text = r#"{
+            "bench": "old",
+            "git_rev": "deadbee",
+            "config_hash": "0123456789abcdef",
+            "cases": []
+        }"#;
+        let value = serde_json::from_str::<Baseline>(text).unwrap();
+        assert!(!value.threads_clamped);
+        assert_eq!(value.bench, "old");
     }
 
     #[test]

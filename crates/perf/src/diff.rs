@@ -110,6 +110,18 @@ pub fn diff_bench(baseline: &Baseline, current: &[Measurement], cfg: &DiffConfig
                 baseline.bench, cur.env.config_hash, baseline.config_hash
             ));
         }
+        if cur.env.threads_clamped != baseline.threads_clamped {
+            // A clamped run executed at fewer threads than its nominal
+            // configuration; its timings are not comparable to an unclamped
+            // baseline (or vice versa). Refuse to gate rather than produce
+            // phantom regressions/improvements.
+            report.warnings.push(format!(
+                "{}: thread-clamp state (current clamped={}, blessed clamped={}) \
+                 differs — skipping comparison, re-bless on this hardware",
+                baseline.bench, cur.env.threads_clamped, baseline.threads_clamped
+            ));
+            return report;
+        }
     }
     for base in &baseline.cases {
         let Some(cur) = current.iter().find(|m| m.case == base.case) else {
@@ -276,6 +288,8 @@ mod tests {
     fn env() -> BenchEnv {
         BenchEnv {
             threads: 4,
+            requested_threads: 4,
+            threads_clamped: false,
             cpus: 4,
             git_rev: "deadbee".to_string(),
             config_hash: "0123456789abcdef".to_string(),
@@ -298,6 +312,7 @@ mod tests {
             bench: "b".to_string(),
             git_rev: "deadbee".to_string(),
             config_hash: "0123456789abcdef".to_string(),
+            threads_clamped: false,
             cases: vec![BaselineCase {
                 case: "c".to_string(),
                 unit: "ns".to_string(),
@@ -412,6 +427,20 @@ mod tests {
         let report = diff_bench(&baseline(10_000_000.0, 100_000.0), &[cur], &CFG);
         assert!(report.warnings.iter().any(|w| w.contains("config hash")));
         assert!(report.passed());
+    }
+
+    #[test]
+    fn clamp_state_mismatch_skips_comparison() {
+        // A 2x "regression" measured under a clamped thread policy must not
+        // gate against an unclamped baseline — it ran on different effective
+        // parallelism.
+        let mut cur = measurement(20_000_000.0, 100_000.0);
+        cur.env.threads_clamped = true;
+        cur.env.requested_threads = 8;
+        let report = diff_bench(&baseline(10_000_000.0, 100_000.0), &[cur], &CFG);
+        assert!(report.rows.is_empty(), "no rows may be compared");
+        assert!(report.passed());
+        assert!(report.warnings.iter().any(|w| w.contains("thread-clamp")));
     }
 
     #[test]

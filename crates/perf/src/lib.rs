@@ -16,6 +16,9 @@
 //!   regresses only if its median slowdown exceeds
 //!   `max(rel_threshold · baseline, k · MAD, abs_floor)`, so gating stays
 //!   non-flaky on noisy shared machines,
+//! - [`speedup`]: the parallel-speedup floor gate behind `bootes perf
+//!   speedup` — fails when a kernel's measured speedup at the gate thread
+//!   count drops below its floor (clamp- and noise-aware),
 //! - [`rates`]: achieved MFLOP/s and GB/s per kernel, pairing the
 //!   `kernel.flops{kernel=X}` / `kernel.bytes{kernel=X}` accounting counters
 //!   with the matching `par.region.wall_ns{region=X}` region clock.
@@ -29,6 +32,7 @@ pub mod diff;
 pub mod history;
 pub mod rates;
 pub mod runner;
+pub mod speedup;
 pub mod stats;
 
 pub use baseline::{bless, load_baseline, Baseline, BaselineCase};
@@ -36,6 +40,9 @@ pub use diff::{diff_benches, render_diff, CaseDiff, DiffConfig, DiffReport, Diff
 pub use history::{append_history, history_path, latest_run, load_history};
 pub use rates::{kernel_rates, render_rates, KernelRate};
 pub use runner::{BenchEnv, Measurement, Runner};
+pub use speedup::{
+    check_speedup, load_speedup_rows, render_speedup, SpeedupConfig, SpeedupReport, SpeedupRow,
+};
 pub use stats::{mad, median, summarize, Summary};
 
 use std::path::PathBuf;

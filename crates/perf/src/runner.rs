@@ -10,8 +10,18 @@ use crate::stats::{summarize, Summary};
 /// interpretable long after the machine or configuration changed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchEnv {
-    /// Worker-thread policy in effect ([`bootes_par::threads`]).
+    /// Worker-thread policy in effect ([`bootes_par::threads`]) — already
+    /// clamped to the hardware.
     pub threads: usize,
+    /// Thread count the configuration *asked* for
+    /// ([`bootes_par::requested_threads`]), before clamping.
+    #[serde(default)]
+    pub requested_threads: usize,
+    /// True when `requested_threads` exceeded the hardware and was clamped
+    /// down. Perf comparisons must never treat a clamped run as equal to an
+    /// unclamped one at the same nominal thread count.
+    #[serde(default)]
+    pub threads_clamped: bool,
     /// Hardware threads available to the process.
     pub cpus: usize,
     /// Short git revision of the working tree, or `"unknown"`.
@@ -28,6 +38,8 @@ impl BenchEnv {
     pub fn capture() -> Self {
         BenchEnv {
             threads: bootes_par::threads(),
+            requested_threads: bootes_par::requested_threads(),
+            threads_clamped: bootes_par::threads_clamped(),
             cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
             git_rev: git_rev(),
             config_hash: config_hash(),

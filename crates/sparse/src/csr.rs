@@ -341,10 +341,11 @@ impl CsrMatrix {
 
     /// [`Self::matvec_into`] over an explicit number of worker threads.
     ///
-    /// `y` is split into nnz-weighted contiguous row chunks, each written by
-    /// one thread with the identical per-row dot product — bit-identical to
-    /// the serial matvec for every thread count. Falls back to the serial
-    /// loop for matrices too small to amortize thread spawning.
+    /// `y` is split into nnz-weighted contiguous row chunks (oversubscribed
+    /// past the worker count so the pool can load-balance dynamically), each
+    /// written with the identical per-row dot product — bit-identical to the
+    /// serial matvec for every thread count. Falls back to the serial loop
+    /// for matrices too small to amortize dispatch.
     ///
     /// # Panics
     ///
@@ -367,11 +368,16 @@ impl CsrMatrix {
         }
         // While profiling, even the serial fallback routes through the
         // attributed combinator so the `spmv` region accrues wall time.
-        let parts = if small { 1 } else { threads };
+        let workers = if small { 1 } else { threads };
+        let parts = if small {
+            1
+        } else {
+            bootes_par::chunk_count(threads)
+        };
         let ranges = bootes_par::partition_weighted(self.nrows, parts, |r| {
             (self.indptr[r + 1] - self.indptr[r]) as u64
         });
-        bootes_par::for_each_chunk_mut_in("spmv", parts, y, &ranges, |_, range, chunk| {
+        bootes_par::for_each_chunk_mut_in("spmv", workers, y, &ranges, |_, range, chunk| {
             for (off, yr) in chunk.iter_mut().enumerate() {
                 *yr = self.row_dot(range.start + off, x);
             }

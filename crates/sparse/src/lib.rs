@@ -41,6 +41,7 @@ pub mod io;
 pub mod ops;
 pub mod perm;
 pub mod schedule;
+mod scratch;
 pub mod stats;
 
 pub use coo::CooMatrix;

@@ -66,7 +66,7 @@ pub fn par_similarity_matrix_csc(a: &CsrMatrix, a_csc: &CscMatrix, threads: usiz
     let _span = bootes_obs::span!("similarity.rows");
     let n = a.nrows();
     let row_work = |i: usize| -> u64 { a.row(i).0.iter().map(|&k| a_csc.col_nnz(k) as u64).sum() };
-    let ranges = bootes_par::partition_weighted(n, threads, row_work);
+    let ranges = bootes_par::partition_weighted(n, bootes_par::chunk_count(threads), row_work);
     let chunks = bootes_par::map_ranges_in("similarity.rows", threads, &ranges, |_, rows| {
         similarity_rows(a, a_csc, rows)
     });
@@ -97,7 +97,9 @@ pub fn par_similarity_matrix_csc(a: &CsrMatrix, a_csc: &CscMatrix, threads: usiz
     CsrMatrix::from_parts_unchecked(n, n, indptr, indices, values)
 }
 
-/// Serial similarity kernel over one contiguous row block; returns per-row
+/// Serial similarity kernel over one contiguous row block, accumulating
+/// into the calling worker's reusable thread-local `u32` scratch (zeroed
+/// once per worker, touched-entries-only reset per row); returns per-row
 /// lengths plus the block's concatenated indices and values.
 #[allow(clippy::type_complexity)]
 fn similarity_rows(
@@ -106,35 +108,35 @@ fn similarity_rows(
     rows: std::ops::Range<usize>,
 ) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
     let n = a.nrows();
-    let mut acc = vec![0u32; n];
-    let mut touched: Vec<usize> = Vec::new();
-    let mut row_lens = Vec::with_capacity(rows.len());
-    let mut indices: Vec<usize> = Vec::new();
-    let mut values: Vec<f64> = Vec::new();
+    crate::scratch::with_dense_u32(n, |acc, touched| {
+        let mut row_lens = Vec::with_capacity(rows.len());
+        let mut indices: Vec<usize> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
 
-    for i in rows {
-        let row_start = indices.len();
-        let (cols, _) = a.row(i);
-        for &k in cols {
-            // Row i of S accumulates 1 for every row that also has column k.
-            let (srows, _) = a_csc.col(k);
-            for &j in srows {
-                if acc[j] == 0 {
-                    touched.push(j);
+        for i in rows.clone() {
+            let row_start = indices.len();
+            let (cols, _) = a.row(i);
+            for &k in cols {
+                // Row i of S accumulates 1 for every row that also has column k.
+                let (srows, _) = a_csc.col(k);
+                for &j in srows {
+                    if acc[j] == 0 {
+                        touched.push(j);
+                    }
+                    acc[j] += 1;
                 }
-                acc[j] += 1;
             }
+            touched.sort_unstable();
+            for &j in touched.iter() {
+                indices.push(j);
+                values.push(acc[j] as f64);
+                acc[j] = 0;
+            }
+            touched.clear();
+            row_lens.push(indices.len() - row_start);
         }
-        touched.sort_unstable();
-        for &j in &touched {
-            indices.push(j);
-            values.push(acc[j] as f64);
-            acc[j] = 0;
-        }
-        touched.clear();
-        row_lens.push(indices.len() - row_start);
-    }
-    (row_lens, indices, values)
+        (row_lens, indices, values)
+    })
 }
 
 #[cfg(test)]

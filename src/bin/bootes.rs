@@ -94,6 +94,8 @@ usage:
   bootes perf diff  [--baseline DIR] [-D] [--rel-threshold F] [--k-mad F]
                     [--abs-floor-ms MS]
   bootes perf bless [BENCH...] [--baseline DIR]
+  bootes perf speedup [--file RESULTS.json] [--floor KERNEL=SPEEDUP]...
+                    [--k-mad F] [-D]
 global flags (any subcommand):
   --threads N             worker threads for the parallel kernels (default:
                           all cores; BOOTES_THREADS=N also works; output is
@@ -223,6 +225,12 @@ impl ProfileOpts {
         if enabled || profile_out.is_some() || trace_out.is_some() {
             bootes::obs::set_enabled(true);
             enabled = true;
+        }
+        if trace_out.is_some() {
+            // The Chrome trace renders per-chunk worker lanes; those records
+            // are only collected when the chunk timeline is switched on
+            // (plain --profile keeps the cheaper per-region aggregates).
+            bootes::obs::set_chunk_timeline(true);
         }
         enabled |= bootes::obs::init_from_env();
         if use_cache {
@@ -592,13 +600,74 @@ fn perf_root(args: &[String]) -> std::path::PathBuf {
 
 fn cmd_perf(args: &[String]) -> Result<(), String> {
     let Some(action) = args.first() else {
-        return Err("perf needs an action: diff | bless".to_string());
+        return Err("perf needs an action: diff | bless | speedup".to_string());
     };
     match action.as_str() {
         "diff" => cmd_perf_diff(&args[1..]),
         "bless" => cmd_perf_bless(&args[1..]),
+        "speedup" => cmd_perf_speedup(&args[1..]),
         other => Err(format!("unknown perf action {other:?}")),
     }
+}
+
+fn cmd_perf_speedup(args: &[String]) -> Result<(), String> {
+    let mut cfg = bootes::perf::SpeedupConfig::default();
+    // Any explicit --floor list replaces the default, so CI pins exactly the
+    // kernels it gates.
+    let floors: Vec<(String, f64)> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == "--floor")
+        .map(|(i, _)| {
+            let spec = args
+                .get(i + 1)
+                .ok_or("--floor needs a KERNEL=SPEEDUP argument")?;
+            let (kernel, floor) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("bad --floor {spec:?}: expected KERNEL=SPEEDUP"))?;
+            let floor: f64 = floor
+                .parse()
+                .map_err(|e| format!("bad --floor {spec:?}: {e}"))?;
+            Ok((kernel.to_string(), floor))
+        })
+        .collect::<Result<_, String>>()?;
+    if !floors.is_empty() {
+        cfg.floors = floors;
+    }
+    if let Some(v) = flag(args, "--k-mad") {
+        cfg.k_mad = v.parse().map_err(|e| format!("bad --k-mad {v:?}: {e}"))?;
+    }
+    let path = flag(args, "--file").map_or_else(
+        || bootes::perf::results_dir().join("par_speedup.json"),
+        std::path::PathBuf::from,
+    );
+    let strict = args.iter().any(|a| a == "-D" || a == "--deny-regressions");
+    let rows = match bootes::perf::load_speedup_rows(&path) {
+        Ok(rows) => rows,
+        // Like `perf diff` with no baselines: a missing result file warns
+        // (the bench hasn't run on this machine) but never gates.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!(
+                "no speedup results at {} — run the par_speedup bench first; PASS",
+                path.display()
+            );
+            return Ok(());
+        }
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+    };
+    let report = bootes::perf::check_speedup(&rows, &cfg);
+    print!("{}", bootes::perf::render_speedup(&report));
+    if !report.passed() {
+        if strict {
+            eprintln!(
+                "error: {} kernel(s) fell below their parallel-speedup floor",
+                report.failures
+            );
+            std::process::exit(1);
+        }
+        eprintln!("note: floors missed; rerun with -D to fail the exit code");
+    }
+    Ok(())
 }
 
 fn cmd_perf_diff(args: &[String]) -> Result<(), String> {

@@ -43,6 +43,8 @@ fn measurement(bench: &str, case: &str, median_ms: f64, ts: u64) -> Measurement 
         samples,
         env: BenchEnv {
             threads: 1,
+            requested_threads: 1,
+            threads_clamped: false,
             cpus: 1,
             git_rev: "test".to_string(),
             config_hash: "cafef00dcafef00d".to_string(),

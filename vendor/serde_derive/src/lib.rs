@@ -4,8 +4,10 @@
 //! vendored `serde` stub without `syn`/`quote`: the input token stream is
 //! parsed by hand into a small AST (named-field structs; enums with unit,
 //! tuple, and struct variants), and the impls are emitted as source text.
-//! Generics and `#[serde(...)]` attributes are not supported — the Bootes
-//! workspace uses neither.
+//! Generics are not supported. The only `#[serde(...)]` attribute honored
+//! is field-level `#[serde(default)]` on named fields: a missing key
+//! deserializes to `Default::default()` instead of erroring, so record
+//! formats can grow fields without invalidating already-written files.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -13,12 +15,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Item {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     Enum {
         name: String,
         variants: Vec<Variant>,
     },
+}
+
+/// A named field and whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -29,18 +37,18 @@ struct Variant {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 /// Derives `serde::Serialize` by converting the item into a `serde::Value`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, gen_serialize)
 }
 
 /// Derives `serde::Deserialize` by reconstructing the item from a
 /// `serde::Value`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, gen_deserialize)
 }
@@ -112,17 +120,22 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     }
 }
 
-/// Parses `name: Type, ...` out of a struct or struct-variant body.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// Parses `name: Type, ...` out of a struct or struct-variant body,
+/// honoring a preceding field-level `#[serde(default)]` attribute.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut tokens = stream.into_iter().peekable();
     loop {
-        // Skip attributes and visibility before the field name.
+        // Skip attributes and visibility before the field name, noting
+        // whether any attribute is `#[serde(default)]`.
+        let mut default = false;
         loop {
             match tokens.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     tokens.next();
-                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        default |= is_serde_default(g.stream());
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     tokens.next();
@@ -143,7 +156,10 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => return Err(format!("expected ':' after field {field}, got {other:?}")),
         }
-        fields.push(field.to_string());
+        fields.push(Field {
+            name: field.to_string(),
+            default,
+        });
         // Skip the type: consume until a ',' at zero angle-bracket depth.
         let mut angle_depth = 0i32;
         for tok in tokens.by_ref() {
@@ -156,6 +172,23 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
         }
     }
     Ok(fields)
+}
+
+/// Whether an attribute body (the stream inside `#[...]`) is
+/// `serde(default)` — the one serde attribute the stub understands.
+fn is_serde_default(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
 }
 
 fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
@@ -235,6 +268,7 @@ fn gen_serialize(item: &Item) -> String {
             let entries: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})),")
                 })
                 .collect();
@@ -275,16 +309,19 @@ fn gen_serialize(item: &Item) -> String {
                             let entries: String = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(\"{f}\".to_string(), \
                                          ::serde::Serialize::serialize({f})),"
                                     )
                                 })
                                 .collect();
+                            let binders: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
                             format!(
                                 "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\
                                  \"{vn}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),",
-                                fields.join(", ")
+                                binders.join(", ")
                             )
                         }
                     }
@@ -301,18 +338,32 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
+/// One `field: <expr>,` initializer for a struct (or struct-variant)
+/// deserialize body: `#[serde(default)]` fields fall back to
+/// `Default::default()` when the key is absent, everything else errors.
+fn field_init(field: &str, default: bool, scope: &str, source: &str) -> String {
+    if default {
+        format!(
+            "{field}: match {source}.get(\"{field}\") {{\n\
+                 Some(__f) => ::serde::Deserialize::deserialize(__f)?,\n\
+                 None => ::std::default::Default::default(),\n\
+             }},"
+        )
+    } else {
+        format!(
+            "{field}: ::serde::Deserialize::deserialize({source}.get(\"{field}\")\
+             .ok_or_else(|| ::serde::Error::custom(\
+             \"missing field {field} in {scope}\"))?)?,"
+        )
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     match item {
         Item::Struct { name, fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::deserialize(__v.get(\"{f}\")\
-                         .ok_or_else(|| ::serde::Error::custom(\
-                         \"missing field {f} in {name}\"))?)?,"
-                    )
-                })
+                .map(|f| field_init(&f.name, f.default, name, "__v"))
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -361,16 +412,10 @@ fn gen_deserialize(item: &Item) -> String {
                             ))
                         }
                         VariantShape::Struct(fields) => {
+                            let scope = format!("{name}::{vn}");
                             let inits: String = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::deserialize(\
-                                         __inner.get(\"{f}\").ok_or_else(|| \
-                                         ::serde::Error::custom(\
-                                         \"missing field {f} in {name}::{vn}\"))?)?,"
-                                    )
-                                })
+                                .map(|f| field_init(&f.name, f.default, &scope, "__inner"))
                                 .collect();
                             Some(format!(
                                 "\"{vn}\" => Ok({name}::{vn} {{ {inits} }}),"
