@@ -36,6 +36,11 @@
 //! reorder, eigensolve and model decision. With nothing installed every
 //! lookup is a no-op and the pipeline behaves exactly as an uncached build.
 //!
+//! Concurrent consumers (the `bootes-serve` daemon) additionally coalesce
+//! same-key misses through a [`Singleflight`] group: N simultaneous requests
+//! for one not-yet-cached key run the computation once and share the result
+//! (see the [`singleflight`] module).
+//!
 //! Observability: `cache.hit`, `cache.miss`, `cache.evict` and
 //! `cache.quarantine` counters plus the `cache.bytes` gauge (see the
 //! `bootes-obs` metric catalog).
@@ -43,6 +48,7 @@
 pub mod artifact;
 pub mod disk;
 pub mod key;
+pub mod singleflight;
 pub mod store;
 
 use std::path::PathBuf;
@@ -52,6 +58,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 pub use artifact::{Artifact, DecisionArtifact, ReorderArtifact, RitzArtifact};
 pub use disk::{DiskStore, FORMAT_VERSION, QUARANTINE_DIR};
 pub use key::{ArtifactKind, CacheKey};
+pub use singleflight::{FlightRole, Singleflight};
 pub use store::{MemoryStore, N_SHARDS};
 
 use bootes_guard::Budget;

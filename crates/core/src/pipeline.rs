@@ -311,26 +311,27 @@ impl BootesPipeline {
         &self.model
     }
 
-    /// Cache key of the model verdict for `a` (pattern + model identity), if
-    /// a process-global artifact cache is installed. All cost-model features
-    /// are structural, so the pattern hash fully determines the verdict.
-    fn decision_key(&self, a: &CsrMatrix) -> Option<CacheKey> {
-        bootes_cache::global()?;
+    /// Cache key of the model verdict for `a` (pattern + model identity).
+    /// All cost-model features are structural, so the pattern hash fully
+    /// determines the verdict. The key is well-defined whether or not a
+    /// process-global artifact cache is installed — the serving daemon uses
+    /// it for singleflight coalescing independently of caching.
+    pub fn decision_key(&self, a: &CsrMatrix) -> CacheKey {
         let fp = bootes_sparse::MatrixFingerprint::of(a);
-        Some(CacheKey::new(ArtifactKind::Decision, &fp, self.model_hash))
+        CacheKey::new(ArtifactKind::Decision, &fp, self.model_hash)
     }
 
     /// Cache key of the full preprocessing outcome for `a`: pattern plus
     /// every knob the permutation depends on (model, reorder config, and
-    /// whether the graceful-degradation chain is active).
-    fn reorder_key(&self, a: &CsrMatrix) -> Option<CacheKey> {
-        bootes_cache::global()?;
+    /// whether the graceful-degradation chain is active). Well-defined
+    /// whether or not a process-global artifact cache is installed.
+    pub fn reorder_key(&self, a: &CsrMatrix) -> CacheKey {
         let fp = bootes_sparse::MatrixFingerprint::of(a);
         let mut h = bootes_sparse::Fnv1a::new();
         h.write_u64(self.model_hash)
             .write_u64(bootes_cache::hash_serialized(&self.config))
             .write_u64(self.fallback as u64);
-        Some(CacheKey::new(ArtifactKind::Reorder, &fp, h.finish()))
+        CacheKey::new(ArtifactKind::Reorder, &fp, h.finish())
     }
 
     /// Predicts whether and how to reorder `a` without performing the work.
@@ -340,8 +341,9 @@ impl BootesPipeline {
     /// Returns [`ModelError`] on inference failure.
     pub fn decide(&self, a: &CsrMatrix) -> Result<Decision, ModelError> {
         let _span = bootes_obs::span!("pipeline.decide");
-        let key = self.decision_key(a);
-        if let (Some(cache), Some(key)) = (bootes_cache::global(), key) {
+        let cache = bootes_cache::global();
+        let key = cache.as_ref().map(|_| self.decision_key(a));
+        if let (Some(cache), Some(key)) = (&cache, key) {
             if let Some(Artifact::Decision(hit)) = cache.get(&key) {
                 return Ok(Decision {
                     label: Label::from_class(hit.class)?,
@@ -350,7 +352,7 @@ impl BootesPipeline {
         }
         let features = MatrixFeatures::extract(a).to_vec();
         let class = self.model.predict(&features)?;
-        if let (Some(cache), Some(key)) = (bootes_cache::global(), key) {
+        if let (Some(cache), Some(key)) = (&cache, key) {
             cache.put(
                 key,
                 Artifact::Decision(DecisionArtifact { features, class }),
@@ -368,7 +370,7 @@ impl BootesPipeline {
     /// Returns [`PipelineError`] if inference or reordering fails.
     pub fn preprocess(&self, a: &CsrMatrix) -> Result<PipelineOutcome, PipelineError> {
         let scope = StatsScope::start("bootes-pipeline", "pipeline.preprocess");
-        let key = self.reorder_key(a);
+        let key = bootes_cache::global().map(|_| self.reorder_key(a));
         if let (Some(cache), Some(key)) = (bootes_cache::global(), key) {
             if let Some(Artifact::Reorder(hit)) = cache.get(&key) {
                 // The decision is served from its own (pattern-keyed) cache

@@ -11,6 +11,8 @@ pub enum Resource {
     Iterations,
     /// Explicitly-accounted bytes.
     Bytes,
+    /// Concurrently admitted requests (per-tenant admission control).
+    Requests,
 }
 
 impl fmt::Display for Resource {
@@ -19,6 +21,7 @@ impl fmt::Display for Resource {
             Resource::TimeMs => write!(f, "time-ms"),
             Resource::Iterations => write!(f, "iterations"),
             Resource::Bytes => write!(f, "bytes"),
+            Resource::Requests => write!(f, "requests"),
         }
     }
 }

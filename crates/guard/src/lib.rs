@@ -38,14 +38,18 @@
 //! Budgets are armed process-globally (the preprocessing pipeline is one
 //! logical request at a time in the CLI); [`Budget::arm`] returns an RAII
 //! [`ArmedBudget`] that restores the previously armed budget on drop, so
-//! nested scopes and tests compose.
+//! nested scopes and tests compose. The serving daemon additionally scopes
+//! admission *per tenant* through [`TenantBudgets`], whose RAII
+//! [`TenantPermit`] releases in-flight request/byte accounting on drop.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod budget;
 mod error;
 mod failpoint;
+mod tenant;
 
 pub use budget::{check_bytes, checkpoint, ArmedBudget, Budget, Watchdog};
 pub use error::{panic_message, GuardError, Resource};
 pub use failpoint::{clear_failpoints, fail_point, set_failpoints};
+pub use tenant::{TenantBudgets, TenantPermit, TenantPolicy};

@@ -1,0 +1,251 @@
+//! Per-tenant admission budgets for the serving layer.
+//!
+//! A one-shot CLI run arms a single process-global [`crate::Budget`]; a
+//! daemon serving many tenants needs *scoped* accounting instead, so one
+//! tenant flooding the queue cannot starve the rest. [`TenantBudgets`] keeps
+//! live usage (in-flight requests, in-flight payload bytes) per tenant name
+//! and admits a request only while both stay under the configured policy.
+//! Admission hands back an RAII [`TenantPermit`] that releases the usage on
+//! drop — including when the serving path panics — so accounting can never
+//! leak under failures.
+//!
+//! Rejections are typed [`GuardError::BudgetExceeded`] values with the stage
+//! set to `tenant:<name>`, which the serving layer converts into a
+//! reject-with-retry-hint protocol error instead of queueing unboundedly.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::error::{GuardError, Resource};
+
+/// Per-tenant admission policy. Both limits are optional; `None` admits
+/// unconditionally on that axis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Maximum concurrently admitted requests per tenant.
+    pub max_inflight: Option<u64>,
+    /// Maximum summed payload bytes concurrently admitted per tenant.
+    pub max_bytes: Option<u64>,
+}
+
+impl TenantPolicy {
+    /// A policy with no limits (every admission succeeds).
+    pub fn unlimited() -> Self {
+        TenantPolicy::default()
+    }
+
+    /// Sets the concurrent-request cap.
+    pub fn with_inflight(mut self, n: u64) -> Self {
+        self.max_inflight = Some(n);
+        self
+    }
+
+    /// Sets the in-flight byte ceiling.
+    pub fn with_bytes(mut self, bytes: u64) -> Self {
+        self.max_bytes = Some(bytes);
+        self
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantUsage {
+    inflight: u64,
+    bytes: u64,
+}
+
+/// Live per-tenant admission accounting under one shared [`TenantPolicy`].
+///
+/// Cheap to share: one mutex around a small name → usage map, taken only at
+/// admission and release.
+#[derive(Debug, Default)]
+pub struct TenantBudgets {
+    policy: TenantPolicy,
+    tenants: Mutex<HashMap<String, TenantUsage>>,
+}
+
+impl TenantBudgets {
+    /// Creates empty accounting under `policy`.
+    pub fn new(policy: TenantPolicy) -> Self {
+        TenantBudgets {
+            policy,
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared policy.
+    pub fn policy(&self) -> TenantPolicy {
+        self.policy
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, TenantUsage>> {
+        self.tenants.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Attempts to admit one request of `bytes` payload for `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuardError::BudgetExceeded`] (stage `tenant:<name>`) when
+    /// either the in-flight request cap or the byte ceiling would be crossed.
+    /// Nothing is reserved on rejection.
+    pub fn try_admit(
+        self: &Arc<Self>,
+        tenant: &str,
+        bytes: u64,
+    ) -> Result<TenantPermit, GuardError> {
+        let mut map = self.lock();
+        let usage = map.entry(tenant.to_string()).or_default();
+        if let Some(cap) = self.policy.max_inflight {
+            if usage.inflight + 1 > cap {
+                return Err(GuardError::BudgetExceeded {
+                    stage: format!("tenant:{tenant}"),
+                    resource: Resource::Requests,
+                    spent: usage.inflight + 1,
+                    limit: cap,
+                });
+            }
+        }
+        if let Some(cap) = self.policy.max_bytes {
+            if usage.bytes.saturating_add(bytes) > cap {
+                return Err(GuardError::BudgetExceeded {
+                    stage: format!("tenant:{tenant}"),
+                    resource: Resource::Bytes,
+                    spent: usage.bytes.saturating_add(bytes),
+                    limit: cap,
+                });
+            }
+        }
+        usage.inflight += 1;
+        usage.bytes += bytes;
+        Ok(TenantPermit {
+            owner: Arc::clone(self),
+            tenant: tenant.to_string(),
+            bytes,
+        })
+    }
+
+    /// Current `(inflight, bytes)` usage of `tenant` (zero when unknown).
+    pub fn usage(&self, tenant: &str) -> (u64, u64) {
+        self.lock()
+            .get(tenant)
+            .map(|u| (u.inflight, u.bytes))
+            .unwrap_or((0, 0))
+    }
+
+    /// Number of tenants with nonzero live usage.
+    pub fn active_tenants(&self) -> usize {
+        self.lock().values().filter(|u| u.inflight > 0).count()
+    }
+
+    fn release(&self, tenant: &str, bytes: u64) {
+        let mut map = self.lock();
+        if let Some(usage) = map.get_mut(tenant) {
+            usage.inflight = usage.inflight.saturating_sub(1);
+            usage.bytes = usage.bytes.saturating_sub(bytes);
+            if usage.inflight == 0 && usage.bytes == 0 {
+                map.remove(tenant);
+            }
+        }
+    }
+}
+
+/// RAII admission token from [`TenantBudgets::try_admit`]; releases the
+/// reserved usage on drop.
+#[must_use = "dropping the permit releases the admission immediately"]
+#[derive(Debug)]
+pub struct TenantPermit {
+    owner: Arc<TenantBudgets>,
+    tenant: String,
+    bytes: u64,
+}
+
+impl TenantPermit {
+    /// The tenant this permit was admitted for.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The payload bytes reserved by this permit.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for TenantPermit {
+    fn drop(&mut self) {
+        self.owner.release(&self.tenant, self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_policy_admits_everything() {
+        let budgets = Arc::new(TenantBudgets::new(TenantPolicy::unlimited()));
+        let permits: Vec<_> = (0..100)
+            .map(|i| budgets.try_admit("t", i).expect("unlimited admits"))
+            .collect();
+        assert_eq!(budgets.usage("t").0, 100);
+        drop(permits);
+        assert_eq!(budgets.usage("t"), (0, 0));
+    }
+
+    #[test]
+    fn inflight_cap_rejects_and_releases() {
+        let budgets = Arc::new(TenantBudgets::new(
+            TenantPolicy::unlimited().with_inflight(2),
+        ));
+        let a = budgets.try_admit("t", 0).expect("first");
+        let _b = budgets.try_admit("t", 0).expect("second");
+        let err = budgets.try_admit("t", 0).expect_err("third rejected");
+        match err {
+            GuardError::BudgetExceeded {
+                stage,
+                resource,
+                spent,
+                limit,
+            } => {
+                assert_eq!(stage, "tenant:t");
+                assert_eq!(resource, Resource::Requests);
+                assert_eq!((spent, limit), (3, 2));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Rejection reserved nothing; a release makes room again.
+        drop(a);
+        let _c = budgets.try_admit("t", 0).expect("readmitted after release");
+    }
+
+    #[test]
+    fn byte_ceiling_is_per_tenant() {
+        let budgets = Arc::new(TenantBudgets::new(
+            TenantPolicy::unlimited().with_bytes(1000),
+        ));
+        let _a = budgets.try_admit("alice", 800).expect("fits");
+        assert!(budgets.try_admit("alice", 300).is_err(), "over the ceiling");
+        // A different tenant has its own accounting.
+        let _b = budgets.try_admit("bob", 900).expect("bob is unaffected");
+        assert_eq!(budgets.usage("alice"), (1, 800));
+        assert_eq!(budgets.usage("bob"), (1, 900));
+        assert_eq!(budgets.active_tenants(), 2);
+    }
+
+    #[test]
+    fn permit_releases_on_panic_unwind() {
+        let budgets = Arc::new(TenantBudgets::new(
+            TenantPolicy::unlimited().with_inflight(1),
+        ));
+        let caught = std::panic::catch_unwind({
+            let budgets = Arc::clone(&budgets);
+            move || {
+                let _p = budgets.try_admit("t", 64).expect("admitted");
+                panic!("worker died");
+            }
+        });
+        assert!(caught.is_err());
+        assert_eq!(budgets.usage("t"), (0, 0), "permit released by unwind");
+        let _p = budgets.try_admit("t", 64).expect("slot free again");
+    }
+}

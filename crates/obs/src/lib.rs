@@ -81,6 +81,16 @@
 //! | `par.pool.spawned` | worker threads spawned by the persistent `bootes-par` pool (lifetime total) |
 //! | `par.pool.dispatches` | worker-slot jobs dispatched to the pool (one per worker per region invocation) |
 //! | `spgemm.acc_choice{acc=dense}` / `{acc=hash}` / `{acc=merge}` | rows the adaptive SpGEMM routed to each accumulator variant (`bootes-sparse`) |
+//! | `serve.accepted_conns` | connections accepted by the `bootes serve` daemon |
+//! | `serve.accept.dropped` | connections dropped by the `serve.accept` failpoint |
+//! | `serve.accepted` | work requests admitted into the daemon's bounded queue |
+//! | `serve.completed` | work requests fully executed (response sent) |
+//! | `serve.rejected.admission` | requests rejected by per-tenant admission control |
+//! | `serve.rejected.queue_full` | requests rejected because the bounded queue was full |
+//! | `serve.rejected.draining` | requests rejected because the daemon was draining |
+//! | `serve.coalesce.hits` | requests served by singleflight-coalescing onto an identical in-flight computation |
+//! | `serve.cache.hits` | daemon requests whose leader was answered from the artifact cache |
+//! | `serve.tenant.bytes{tenant=<name>}` | payload bytes admitted per tenant (admission accounting) |
 //!
 //! The `kernel.*` counters pair with `par.region.wall_ns` under the same
 //! name to yield achieved MFLOP/s and GB/s per kernel (see
@@ -96,6 +106,7 @@
 //! | `cache.bytes` | current byte footprint of the in-memory artifact cache |
 //! | `par.region.imbalance{region=<name>}` | max/mean worker busy time of the last invocation of the named parallel region (1.0 = perfectly balanced) |
 //! | `par.region.utilization{region=<name>}` | Σ busy / (workers × wall) of the last invocation of the named region |
+//! | `serve.queue.depth` | current depth of the `bootes serve` admission queue |
 //!
 //! Histograms (log2 buckets):
 //!
@@ -104,6 +115,8 @@
 //! | `accel.pe_cycles` | per-PE cycle totals of the last simulation |
 //! | `spgemm.row_nnz` | output-row nonzero counts seen by sparse kernels |
 //! | `par.region.chunks_per_worker{region=<name>}` | chunks each worker completed per invocation of the named region |
+//! | `serve.queue.wait_ns` | per-request admission-queue wait (`bootes serve`) |
+//! | `serve.exec_ns` | per-request execution time on a daemon worker |
 
 mod export;
 mod profile;

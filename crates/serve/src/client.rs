@@ -1,0 +1,133 @@
+//! Minimal blocking client for the serve protocol (tests, benches, CLI).
+
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+
+use crate::protocol::{decode, encode, MatrixPayload, Request, Response};
+use crate::server::{connect, Stream};
+
+/// One connection to a serve daemon; requests are answered in order.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr` (`unix:<path>`, `tcp:<host:port>`, or a bare
+    /// Unix-socket path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Caps how long [`Client::request`] waits for a response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option error.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(t)
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the transport or parse failure.
+    pub fn request(&mut self, req: &Request) -> Result<Response, String> {
+        let mut line = encode(req);
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        decode(reply.trim_end())
+    }
+
+    fn take_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport failure.
+    pub fn ping(&mut self) -> Result<Response, String> {
+        let id = self.take_id();
+        self.request(&Request {
+            id,
+            op: "ping".to_string(),
+            ..Request::default()
+        })
+    }
+
+    /// Fetches the server counters snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport failure.
+    pub fn stats(&mut self) -> Result<Response, String> {
+        let id = self.take_id();
+        self.request(&Request {
+            id,
+            op: "stats".to_string(),
+            ..Request::default()
+        })
+    }
+
+    /// Runs the full pipeline on `payload` for `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport failure (a rejected request is an `Ok`
+    /// response with `ok: false`).
+    pub fn preprocess(
+        &mut self,
+        payload: MatrixPayload,
+        tenant: Option<&str>,
+    ) -> Result<Response, String> {
+        let id = self.take_id();
+        self.request(&Request {
+            id,
+            op: "preprocess".to_string(),
+            tenant: tenant.map(str::to_string),
+            matrix: Some(payload),
+        })
+    }
+
+    /// Requests a graceful drain; the response arrives once the drain has
+    /// completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport failure.
+    pub fn shutdown(&mut self) -> Result<Response, String> {
+        let id = self.take_id();
+        self.request(&Request {
+            id,
+            op: "shutdown".to_string(),
+            ..Request::default()
+        })
+    }
+}

@@ -12,6 +12,6 @@ pub use similarity::{
     par_similarity_matrix, par_similarity_matrix_csc, similarity_matrix, similarity_matrix_csc,
 };
 pub use spgemm::{
-    dataflow_costs, par_spgemm, par_spgemm_adaptive, par_spgemm_hash, spgemm, spgemm_adaptive,
-    spgemm_flops, spgemm_hash, DataflowCost,
+    dataflow_costs, par_spgemm, par_spgemm_adaptive, par_spgemm_hash, set_spgemm_dataflow, spgemm,
+    spgemm_adaptive, spgemm_dataflow, spgemm_flops, spgemm_hash, DataflowCost, SpgemmDataflow,
 };

@@ -17,10 +17,105 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
 use crate::scratch;
+
+/// Accumulator strategy used by the default [`spgemm`] entry point.
+///
+/// All three strategies produce **bit-identical** results (identical
+/// k-iteration encounter order, exact-`0.0` finals dropped); the selection
+/// only changes speed and scratch footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpgemmDataflow {
+    /// Dense `O(ncols)` accumulator for every row.
+    Dense,
+    /// Hash-map accumulator for every row.
+    Hash,
+    /// Per-row adaptive selection (sorted-merge / dense / hash by
+    /// upper-bounded row flops, à la Nagasaka et al.) — the default.
+    #[default]
+    Adaptive,
+}
+
+impl SpgemmDataflow {
+    /// The canonical CLI/env spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpgemmDataflow::Dense => "dense",
+            SpgemmDataflow::Hash => "hash",
+            SpgemmDataflow::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl std::str::FromStr for SpgemmDataflow {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(SpgemmDataflow::Dense),
+            "hash" => Ok(SpgemmDataflow::Hash),
+            "adaptive" => Ok(SpgemmDataflow::Adaptive),
+            other => Err(format!(
+                "unknown SpGEMM dataflow {other:?} (expected dense|hash|adaptive)"
+            )),
+        }
+    }
+}
+
+/// Process-global dataflow selection for [`spgemm`]. Encoding matches the
+/// enum discriminant order; `u8::MAX` means "not yet initialized from the
+/// environment".
+static DEFAULT_DATAFLOW: AtomicU8 = AtomicU8::new(u8::MAX);
+static DATAFLOW_ENV_INIT: OnceLock<()> = OnceLock::new();
+
+fn dataflow_from_u8(v: u8) -> SpgemmDataflow {
+    match v {
+        0 => SpgemmDataflow::Dense,
+        1 => SpgemmDataflow::Hash,
+        _ => SpgemmDataflow::Adaptive,
+    }
+}
+
+fn dataflow_to_u8(d: SpgemmDataflow) -> u8 {
+    match d {
+        SpgemmDataflow::Dense => 0,
+        SpgemmDataflow::Hash => 1,
+        SpgemmDataflow::Adaptive => 2,
+    }
+}
+
+/// Overrides the dataflow the default [`spgemm`] entry point routes to —
+/// the escape hatch behind the CLI's `--spgemm dense|hash|adaptive` flag.
+/// Results are bit-identical for every choice.
+pub fn set_spgemm_dataflow(dataflow: SpgemmDataflow) {
+    let _ = DATAFLOW_ENV_INIT.set(()); // explicit config overrides the env
+    DEFAULT_DATAFLOW.store(dataflow_to_u8(dataflow), Ordering::Relaxed);
+}
+
+/// The dataflow the default [`spgemm`] entry point currently routes to.
+/// Initialized once from `BOOTES_SPGEMM` (`dense|hash|adaptive`) on first
+/// use; defaults to [`SpgemmDataflow::Adaptive`].
+pub fn spgemm_dataflow() -> SpgemmDataflow {
+    DATAFLOW_ENV_INIT.get_or_init(|| {
+        if let Ok(spec) = std::env::var("BOOTES_SPGEMM") {
+            match spec.parse::<SpgemmDataflow>() {
+                Ok(d) => DEFAULT_DATAFLOW.store(dataflow_to_u8(d), Ordering::Relaxed),
+                Err(msg) => eprintln!("bootes-sparse: ignoring BOOTES_SPGEMM: {msg}"),
+            }
+        }
+    });
+    let v = DEFAULT_DATAFLOW.load(Ordering::Relaxed);
+    if v == u8::MAX {
+        SpgemmDataflow::default()
+    } else {
+        dataflow_from_u8(v)
+    }
+}
 
 fn check_dims(a: &CsrMatrix, b: &CsrMatrix) -> Result<(), SparseError> {
     if a.ncols() != b.nrows() {
@@ -324,11 +419,14 @@ fn spgemm_rows_adaptive(a: &CsrMatrix, b: &CsrMatrix, rows: Range<usize>) -> (Ro
     })
 }
 
-/// Row-wise (Gustavson) SpGEMM with a dense accumulator.
+/// Row-wise (Gustavson) SpGEMM — the default entry point.
 ///
-/// For each row `i` of `A`, accumulates `A[i,k] * B[k,:]` into a dense
-/// scratch row, then gathers the touched columns in sorted order. Entries
-/// that cancel to exactly `0.0` are dropped.
+/// Routes to the process-global [`SpgemmDataflow`] selection (default
+/// [`SpgemmDataflow::Adaptive`]; override via [`set_spgemm_dataflow`], the
+/// CLI's `--spgemm dense|hash|adaptive` flag, or the `BOOTES_SPGEMM` env
+/// var). Every dataflow produces bit-identical output: products are summed
+/// in identical k-iteration encounter order, columns are gathered sorted,
+/// and entries that cancel to exactly `0.0` are dropped.
 ///
 /// # Errors
 ///
@@ -347,7 +445,12 @@ fn spgemm_rows_adaptive(a: &CsrMatrix, b: &CsrMatrix, rows: Range<usize>) -> (Ro
 /// # }
 /// ```
 pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
-    par_spgemm(a, b, kernel_threads(a.nnz()))
+    let threads = kernel_threads(a.nnz());
+    match spgemm_dataflow() {
+        SpgemmDataflow::Dense => par_spgemm(a, b, threads),
+        SpgemmDataflow::Hash => par_spgemm_hash(a, b, threads),
+        SpgemmDataflow::Adaptive => par_spgemm_adaptive(a, b, threads),
+    }
 }
 
 /// [`spgemm`] over an explicit number of worker threads.

@@ -18,7 +18,11 @@
 //!   `results/history/` against the blessed baselines with noise-aware
 //!   (MAD-scaled) thresholds; `-D` turns regressions into a nonzero exit,
 //! - `perf bless [BENCH...]` — bless the latest run of each bench as the new
-//!   regression baseline (equivalently, re-run under `BOOTES_BLESS_PERF=1`).
+//!   regression baseline (equivalently, re-run under `BOOTES_BLESS_PERF=1`),
+//! - `serve [--listen ADDR]` — run the long-lived reorder/decision daemon:
+//!   newline-delimited JSON over a Unix or TCP socket, with bounded
+//!   admission, per-tenant budgets, singleflight coalescing of identical
+//!   in-flight requests, and graceful drain on the `shutdown` op.
 //!
 //! Every subcommand also accepts the global flags:
 //!
@@ -96,6 +100,14 @@ usage:
   bootes perf bless [BENCH...] [--baseline DIR]
   bootes perf speedup [--file RESULTS.json] [--floor KERNEL=SPEEDUP]...
                     [--k-mad F] [-D]
+  bootes serve    [--listen ADDR] [--model model.json] [--serve-workers N]
+                  [--queue-cap N] [--max-inflight N] [--max-tenant-mb MB]
+                  [--drain-grace-ms MS]
+                  (ADDR: unix:/path.sock | tcp:host:port; default
+                   tcp:127.0.0.1:0 — the bound address is printed on stdout.
+                   Newline-delimited JSON; ops: preprocess, decide, ping,
+                   stats, shutdown. A shutdown request drains gracefully and
+                   is answered after the drain.)
 global flags (any subcommand):
   --threads N             worker threads for the parallel kernels (default:
                           all cores; BOOTES_THREADS=N also works; output is
@@ -112,6 +124,10 @@ global flags (any subcommand):
   --cache-warm-start      seed eigensolves from cached same-pattern Ritz pairs
                           (faster on near-identical inputs; not bit-stable)
   --no-cache              disable the artifact cache entirely
+  --spgemm DATAFLOW       SpGEMM accumulator dataflow: dense | hash |
+                          adaptive (default: adaptive; BOOTES_SPGEMM=... in
+                          the environment also works; output is bit-identical
+                          for every choice)
   --no-fallback           disable the graceful-degradation chain: a failed or
                           over-budget spectral reorder becomes a hard error
   --profile               collect spans/metrics, print profile table to stderr
@@ -193,6 +209,17 @@ impl ProfileOpts {
                     } else {
                         budget.with_bytes(n.saturating_mul(1024 * 1024))
                     };
+                }
+                "--spgemm" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("--spgemm needs a dataflow argument".to_string());
+                    }
+                    let value = args.remove(i);
+                    let dataflow = value
+                        .parse()
+                        .map_err(|e| format!("bad --spgemm value: {e}"))?;
+                    bootes::sparse::ops::set_spgemm_dataflow(dataflow);
                 }
                 "--threads" => {
                     args.remove(i);
@@ -328,6 +355,7 @@ fn run(args: &[String], prof: &ProfileOpts) -> Result<(), String> {
         "decide" => cmd_decide(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "perf" => cmd_perf(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -753,6 +781,73 @@ fn cmd_perf_bless(args: &[String]) -> Result<(), String> {
                 .display()
         );
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = bootes::serve::ServeConfig::default();
+    if let Some(addr) = flag(args, "--listen") {
+        config.listen = addr;
+    }
+    if let Some(v) = flag(args, "--serve-workers") {
+        config.workers = v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad --serve-workers value {v:?}"))?;
+    }
+    if let Some(v) = flag(args, "--queue-cap") {
+        config.queue_cap = v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad --queue-cap value {v:?}"))?;
+    }
+    if let Some(v) = flag(args, "--max-inflight") {
+        let n: u64 = v
+            .parse()
+            .map_err(|e| format!("bad --max-inflight {v:?}: {e}"))?;
+        config.policy = config.policy.with_inflight(n);
+    }
+    if let Some(v) = flag(args, "--max-tenant-mb") {
+        let mb: u64 = v
+            .parse()
+            .map_err(|e| format!("bad --max-tenant-mb {v:?}: {e}"))?;
+        config.policy = config.policy.with_bytes(mb.saturating_mul(1024 * 1024));
+    }
+    if let Some(v) = flag(args, "--drain-grace-ms") {
+        config.drain_grace_ms = v
+            .parse()
+            .map_err(|e| format!("bad --drain-grace-ms {v:?}: {e}"))?;
+    }
+    let model = match flag(args, "--model") {
+        Some(path) => {
+            let json = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+            Some(DecisionTree::from_json(&json).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+    let pipeline = bootes::serve::build_pipeline(model)?;
+    let handle = bootes::serve::start(config, pipeline)
+        .map_err(|e| format!("failed to start serve daemon: {e}"))?;
+    // Machine-parseable readiness line: tests and load generators wait for
+    // it, then connect to the printed address.
+    println!("bootes-serve listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let stats = handle.join();
+    println!(
+        "bootes-serve drained: {} accepted, {} completed, {} coalesced, {} cache hits, \
+         {} rejected (admission {}, queue {}, draining {})",
+        stats.accepted,
+        stats.completed,
+        stats.coalesced,
+        stats.cache_hits,
+        stats.rejected_admission + stats.rejected_queue + stats.rejected_draining,
+        stats.rejected_admission,
+        stats.rejected_queue,
+        stats.rejected_draining,
+    );
     Ok(())
 }
 

@@ -28,6 +28,10 @@
 //! - [`perf`]: the statistically rigorous bench runner (warmup + repeats,
 //!   median/MAD), the append-only run history, blessed baselines, and the
 //!   noise-aware regression comparator behind `bootes perf diff`.
+//! - [`serve`]: the long-running reorder/decision daemon behind
+//!   `bootes serve` — newline-delimited JSON over Unix/TCP sockets with
+//!   bounded admission, per-tenant budgets, singleflight coalescing and
+//!   graceful drain (see the README "Serving" section).
 //!
 //! # Quickstart
 //!
@@ -57,5 +61,6 @@ pub use bootes_obs as obs;
 pub use bootes_par as par;
 pub use bootes_perf as perf;
 pub use bootes_reorder as reorder;
+pub use bootes_serve as serve;
 pub use bootes_sparse as sparse;
 pub use bootes_workloads as workloads;

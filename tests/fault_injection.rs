@@ -305,6 +305,242 @@ fn cli_reorder_exits_zero_with_zero_time_budget() {
     assert!(output.exists());
 }
 
+// ---------------------------------------------------------------------------
+// Daemon fault injection: the `bootes serve` subprocess must turn injected
+// faults at its own sites (`serve.accept`, `serve.parse`,
+// `serve.coalesce.leader`) into per-connection/per-request failures — never a
+// hang and never a dead daemon — and must drain cleanly with work in flight.
+// ---------------------------------------------------------------------------
+
+use bootes::serve::{Client, MatrixPayload};
+
+/// Spawns a `bootes serve` child on a fresh Unix socket and waits for its
+/// readiness line. Returns the child, the rest of its stdout, and the
+/// connectable address.
+fn spawn_serve(
+    tag: &str,
+    extra: &[&str],
+    failpoints: Option<&str>,
+) -> (
+    std::process::Child,
+    std::io::BufReader<std::process::ChildStdout>,
+    String,
+) {
+    use std::io::BufRead as _;
+    let sock = std::env::temp_dir().join(format!("bootes-fi-{tag}-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_bootes"));
+    cmd.arg("serve")
+        .arg("--listen")
+        .arg(format!("unix:{}", sock.display()))
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped());
+    match failpoints {
+        Some(spec) => cmd.env("BOOTES_FAILPOINTS", spec),
+        None => cmd.env_remove("BOOTES_FAILPOINTS"),
+    };
+    let mut child = cmd.spawn().expect("spawn serve daemon");
+    let mut stdout = std::io::BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read readiness line");
+    let addr = line
+        .trim()
+        .strip_prefix("bootes-serve listening on ")
+        .unwrap_or_else(|| panic!("daemon did not come up; first line: {line:?}"))
+        .to_string();
+    (child, stdout, addr)
+}
+
+/// Connects with a generous read timeout so a hung daemon fails the test
+/// instead of wedging the suite.
+fn serve_client(addr: &str) -> Client {
+    let client = Client::connect(addr).expect("connect to daemon");
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .expect("set read timeout");
+    client
+}
+
+/// Drains the daemon and asserts a clean exit: shutdown answered `ok` after
+/// the drain, exit status 0, and the final counters line printed.
+fn assert_clean_drain(
+    mut child: std::process::Child,
+    mut stdout: std::io::BufReader<std::process::ChildStdout>,
+    addr: &str,
+) {
+    use std::io::Read as _;
+    let resp = serve_client(addr).shutdown().expect("shutdown answered");
+    assert!(resp.ok, "shutdown failed: {:?}", resp.error);
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status {status:?}");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("read drain line");
+    assert!(
+        rest.contains("bootes-serve drained:"),
+        "missing drain summary, stdout tail: {rest:?}"
+    );
+}
+
+#[test]
+fn serve_parse_failpoint_is_a_protocol_error_not_a_hang() {
+    let _g = serial();
+    let (child, stdout, addr) = spawn_serve("parse", &[], Some("serve.parse=err@1"));
+    let mut client = serve_client(&addr);
+    // The first line hits the injected parse fault: a well-formed error
+    // response on the same connection, not a hang or a disconnect.
+    let faulted = client.ping().expect("fault is answered in-band");
+    assert!(!faulted.ok);
+    let err = faulted.error.expect("error text present");
+    assert!(err.contains("injected fault"), "{err}");
+    // @1 fires once: the daemon keeps serving the same connection.
+    let healthy = client.ping().expect("second request answered");
+    assert!(healthy.ok, "daemon must survive the injected fault");
+    assert_clean_drain(child, stdout, &addr);
+}
+
+#[test]
+fn serve_accept_failpoint_drops_one_connection_daemon_survives() {
+    let _g = serial();
+    let (child, stdout, addr) = spawn_serve("accept", &[], Some("serve.accept=err@1"));
+    // The first accept consumes the fault: that connection is dropped
+    // without a response.
+    let mut dropped = serve_client(&addr);
+    assert!(
+        dropped.ping().is_err(),
+        "faulted accept must drop the connection"
+    );
+    // The daemon itself stays up: the next connection is served normally.
+    let mut healthy = serve_client(&addr);
+    assert!(healthy.ping().expect("answered").ok);
+    assert_clean_drain(child, stdout, &addr);
+}
+
+#[test]
+fn serve_coalesce_leader_fault_propagates_and_terminates() {
+    let _g = serial();
+    let (child, stdout, addr) = spawn_serve(
+        "coalesce",
+        &["--serve-workers", "4"],
+        Some("serve.coalesce.leader=err@1"),
+    );
+    // Identical concurrent requests: whoever leads the singleflight hits the
+    // injected fault; any coalesced waiters must receive that same error
+    // (not hang), and late arrivals recompute cleanly.
+    let payload = MatrixPayload::from_csr(&matrix());
+    let responses: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let payload = payload.clone();
+            std::thread::spawn(move || {
+                serve_client(&addr)
+                    .preprocess(payload, Some("fi"))
+                    .expect("request answered in-band")
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("no request may hang"))
+        .collect();
+    let failed: Vec<_> = responses.iter().filter(|r| !r.ok).collect();
+    assert_eq!(failed.len() + responses.iter().filter(|r| r.ok).count(), 4);
+    assert!(
+        !failed.is_empty(),
+        "exactly one leader must have consumed the @1 fault"
+    );
+    for r in &failed {
+        let err = r.error.as_deref().expect("error text present");
+        assert!(err.contains("injected fault"), "{err}");
+    }
+    // The fault is consumed; the same key now computes successfully.
+    let retry = serve_client(&addr)
+        .preprocess(payload, Some("fi"))
+        .expect("retry answered");
+    assert!(retry.ok, "retry failed: {:?}", retry.error);
+    assert_clean_drain(child, stdout, &addr);
+}
+
+#[test]
+fn serve_admission_reject_is_well_formed_and_non_sticky() {
+    let _g = serial();
+    // 50k triplets at ~24 bytes each (~1.2 MiB) against a 1 MiB tenant cap.
+    let (child, stdout, addr) = spawn_serve("admission", &["--max-tenant-mb", "1"], None);
+    let n = 256;
+    let count = 50_000;
+    let oversized = MatrixPayload {
+        nrows: n,
+        ncols: n,
+        rows: (0..count).map(|k| k % n).collect(),
+        cols: (0..count).map(|k| (k / n) % n).collect(),
+        vals: (0..count).map(|k| 1.0 + (k % 3) as f64).collect(),
+    };
+    let mut client = serve_client(&addr);
+    let rejected = client
+        .preprocess(oversized, Some("fi"))
+        .expect("reject is answered in-band");
+    assert!(!rejected.ok);
+    assert!(
+        rejected.retry_after_ms.is_some(),
+        "admission reject must carry a retry hint"
+    );
+    let err = rejected.error.expect("error text present");
+    assert!(err.contains("tenant:fi"), "{err}");
+    // The rejected request consumed no budget: a small one sails through.
+    let small = client
+        .preprocess(MatrixPayload::from_csr(&matrix()), Some("fi"))
+        .expect("answered");
+    assert!(small.ok, "small request failed: {:?}", small.error);
+    assert_clean_drain(child, stdout, &addr);
+}
+
+#[test]
+fn serve_drain_with_inflight_work_exits_zero_and_loses_nothing() {
+    let _g = serial();
+    let (mut child, mut stdout, addr) = spawn_serve("drain", &["--serve-workers", "1"], None);
+    // Distinct matrices through a single worker: some execute during the
+    // drain's grace window under the revoked (zero-time) budget.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(4));
+    let senders: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let a = clustered(&GenConfig::new(96, 96).seed(100 + i), 4, 0.95)
+                    .expect("valid generator config");
+                let mut client = serve_client(&addr);
+                barrier.wait();
+                client
+                    .preprocess(MatrixPayload::from_csr(&a), Some("fi"))
+                    .expect("admitted work is always answered")
+            })
+        })
+        .collect();
+    // All senders are connected; give their requests a moment to land, then
+    // drain under them.
+    barrier.wait();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let resp = serve_client(&addr).shutdown().expect("shutdown answered");
+    assert!(resp.ok, "shutdown failed: {:?}", resp.error);
+    for h in senders {
+        let r = h.join().expect("no sender may hang");
+        // Every response is well-formed: completed (possibly degraded by the
+        // drain's budget revocation) or a typed draining reject.
+        if !r.ok {
+            let err = r.error.as_deref().expect("error text present");
+            assert!(err.contains("draining"), "{err}");
+            assert!(r.retry_after_ms.is_some());
+        }
+    }
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status {status:?}");
+    use std::io::Read as _;
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("read drain line");
+    assert!(rest.contains("bootes-serve drained:"), "{rest:?}");
+    // Drained means drained: the socket no longer accepts work.
+    assert!(Client::connect(&addr).is_err() || serve_client(&addr).ping().is_err());
+}
+
 #[test]
 fn cli_no_fallback_fails_loudly_under_faults() {
     let _g = serial();

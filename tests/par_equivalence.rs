@@ -12,7 +12,8 @@
 //! and no epsilon can hide a reassociated sum.
 
 use bootes::sparse::ops::{
-    par_similarity_matrix, par_spgemm, par_spgemm_adaptive, par_spgemm_hash,
+    par_similarity_matrix, par_spgemm, par_spgemm_adaptive, par_spgemm_hash, set_spgemm_dataflow,
+    spgemm, spgemm_dataflow, SpgemmDataflow,
 };
 use bootes::sparse::{CooMatrix, CsrMatrix};
 use proptest::prelude::*;
@@ -77,6 +78,27 @@ proptest! {
                 "similarity t={t}"
             );
         }
+    }
+
+    /// The public `spgemm()` entry point is bit-identical under every
+    /// process-global dataflow setting (dense / hash / adaptive), so the
+    /// PR-9 promotion of the adaptive accumulator to the default — and the
+    /// `--spgemm` / `BOOTES_SPGEMM` escape hatch — can never change results.
+    ///
+    /// This test owns the process-global dataflow switch; no other test in
+    /// this binary routes through `spgemm()`, so sweeping it here is safe.
+    #[test]
+    fn spgemm_entry_point_bit_identical_across_dataflows(a in square_matrix(18, 70)) {
+        let b = a.transpose();
+        let reference = par_spgemm(&a, &b, 1).expect("valid operands");
+        for dataflow in [SpgemmDataflow::Dense, SpgemmDataflow::Hash, SpgemmDataflow::Adaptive] {
+            set_spgemm_dataflow(dataflow);
+            prop_assert_eq!(spgemm_dataflow(), dataflow);
+            let out = spgemm(&a, &b).expect("valid operands");
+            prop_assert!(bit_identical(&out, &reference), "dataflow {}", dataflow.name());
+        }
+        // Leave the process default in place for any later-added tests.
+        set_spgemm_dataflow(SpgemmDataflow::default());
     }
 
     /// SpMV is bit-identical across thread counts.
