@@ -38,6 +38,10 @@ pub const FORMAT_VERSION: u64 = 1;
 /// Name of the subdirectory corrupt entries are moved into.
 pub const QUARANTINE_DIR: &str = "quarantine";
 
+/// Maximum number of files kept in `quarantine/`; the oldest are evicted
+/// first so repeated corruption cannot fill the disk.
+pub const QUARANTINE_CAP: usize = 32;
+
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// A cache directory on disk.
@@ -68,7 +72,42 @@ impl DiskStore {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(DiskStore { dir })
+        let store = DiskStore { dir };
+        store.sweep_stale_tmp();
+        Ok(store)
+    }
+
+    /// Removes `.*.tmp` files orphaned by a writer that died between
+    /// `fs::write` and `fs::rename`. Temp names embed the writer's pid, so
+    /// files from *this* process (a concurrent in-flight write through
+    /// another handle) are left alone; anything from another pid is stale —
+    /// either that process is dead, or it is a different cache user whose
+    /// rename already happened (renames don't remove the source name we
+    /// match here, so a missing file is just skipped).
+    fn sweep_stale_tmp(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let own_pid = format!(".{}.", std::process::id());
+        let mut swept = 0u64;
+        for entry in entries.filter_map(|e| e.ok()) {
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            if !(name.starts_with('.') && name.ends_with(".tmp")) || name.contains(&own_pid) {
+                continue;
+            }
+            if std::fs::remove_file(entry.path()).is_ok() {
+                swept += 1;
+            }
+        }
+        if swept > 0 {
+            bootes_obs::counter_add("cache.tmp_swept", swept);
+            eprintln!(
+                "warning: swept {swept} stale temp file(s) from {} (crashed writer)",
+                self.dir.display()
+            );
+        }
     }
 
     /// The directory this store reads and writes.
@@ -117,6 +156,13 @@ impl DiskStore {
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
         std::fs::write(&tmp, text)?;
+        // Chaos hook in the torn-write window: a `kill` action here orphans
+        // the temp file exactly like a SIGKILL between write and rename, and
+        // a `delay` widens the window for external kill drills.
+        if let Err(e) = bootes_guard::fail_point("cache.disk.tmp_written") {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(std::io::Error::other(e.to_string()));
+        }
         match std::fs::rename(&tmp, self.path_for(key)) {
             Ok(()) => Ok(()),
             Err(e) => {
@@ -237,6 +283,44 @@ impl DiskStore {
             "warning: quarantined corrupt cache entry {}: {why}",
             path.display()
         );
+        self.enforce_quarantine_cap(&qdir);
+    }
+
+    /// Keeps `quarantine/` bounded at [`QUARANTINE_CAP`] files: the oldest
+    /// (by modification time, file name as a deterministic tiebreak) are
+    /// deleted first, counted on `cache.quarantine_evicted`. Quarantined
+    /// files exist for post-mortem inspection, so newest-wins is the right
+    /// retention order.
+    fn enforce_quarantine_cap(&self, qdir: &Path) {
+        let Ok(entries) = std::fs::read_dir(qdir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, String, PathBuf)> = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+            .map(|e| {
+                let mtime = e
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                let name = e.file_name().to_string_lossy().into_owned();
+                (mtime, name, e.path())
+            })
+            .collect();
+        if files.len() <= QUARANTINE_CAP {
+            return;
+        }
+        files.sort();
+        let excess = files.len() - QUARANTINE_CAP;
+        let mut evicted = 0u64;
+        for (_, _, path) in files.into_iter().take(excess) {
+            if std::fs::remove_file(path).is_ok() {
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            bootes_obs::counter_add("cache.quarantine_evicted", evicted);
+        }
     }
 }
 
@@ -336,6 +420,57 @@ mod tests {
         std::fs::write(&path, text.replace("\"version\":1", "\"version\":2")).unwrap();
         assert_eq!(store.load(&key), None);
         assert!(path.exists(), "other-version entries are left alone");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open() {
+        let dir = tmp_dir("sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = sample_key();
+        // A temp file from a dead writer (pid 1 is never this test process)
+        // and one from "this" process's in-flight write.
+        let stale = dir.join(format!(".{}.1.0.tmp", key.file_name()));
+        let live = dir.join(format!(".{}.{}.0.tmp", key.file_name(), std::process::id()));
+        std::fs::write(&stale, "torn").unwrap();
+        std::fs::write(&live, "in-flight").unwrap();
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(!stale.exists(), "stale tmp from a dead pid must be swept");
+        assert!(live.exists(), "own-pid tmp files are left alone");
+        // The sweep never touches real entries.
+        store.store(&key, &sample_artifact()).unwrap();
+        drop(store);
+        let reopened = DiskStore::open(&dir).unwrap();
+        assert_eq!(reopened.load(&key), Some(sample_artifact()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_growth_is_capped() {
+        let dir = tmp_dir("qcap");
+        let store = DiskStore::open(&dir).unwrap();
+        // Corrupt QUARANTINE_CAP + 5 distinct entries; each load quarantines
+        // one file and then enforces the cap.
+        for i in 0..(QUARANTINE_CAP + 5) as u64 {
+            let key = CacheKey {
+                config: sample_key().config ^ i,
+                ..sample_key()
+            };
+            store.store(&key, &sample_artifact()).unwrap();
+            let path = dir.join(key.file_name());
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, text.replace("0.125", "0.625")).unwrap();
+            assert_eq!(store.load(&key), None);
+        }
+        let count = std::fs::read_dir(dir.join(QUARANTINE_DIR))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .count();
+        assert!(
+            count <= QUARANTINE_CAP,
+            "quarantine holds {count} files, cap is {QUARANTINE_CAP}"
+        );
+        assert!(count > 0, "quarantine must retain the newest entries");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,724 @@
+//! The chaos driver: runs schedules against real `bootes` subprocesses and
+//! checks the invariant oracles.
+//!
+//! Three workloads (chosen round-robin by seed, so any batch of ≥ 3 seeds
+//! covers all of them):
+//!
+//! - **pipeline** — one-shot `bootes reorder` with faults armed at the
+//!   graceful-degradation sites and a wall-clock budget. Oracles: exit 0
+//!   (faults degrade, never fail), the output parses and preserves the
+//!   input's shape and nnz.
+//! - **serve** — a `bootes serve` daemon under fault load, driven by the
+//!   retrying [`bootes_serve::Client`]. Oracles: every request is answered
+//!   within the retry budget, non-degraded answers for identical payloads
+//!   are bit-identical (cache hit ≡ recompute), the drain is clean (exit 0,
+//!   accepted == completed on the final counters line).
+//! - **crash-restart** — `bootes reorder` killed *inside* the cache's
+//!   torn-write window (`cache.disk.tmp_written=kill@1` aborts without
+//!   unwinding, the in-process equivalent of SIGKILL), then restarted on the
+//!   same `--cache-dir`. Oracles: the restart exits 0, sweeps the orphaned
+//!   temp file (none left behind), and both the recompute and the subsequent
+//!   cache-hit run answer bit-identically to a fault-free reference run.
+//!
+//! A failing schedule is shrunk (see [`crate::shrink`]) and reported with a
+//! minimal replay token.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use bootes_serve::protocol::{MatrixPayload, Request};
+use bootes_serve::{Client, RetryPolicy};
+use bootes_sparse::io::read_matrix_market;
+use bootes_sparse::CsrMatrix;
+use bootes_workloads::gen::{clustered, GenConfig};
+
+use crate::oracle::Violation;
+use crate::schedule::{Schedule, Workload};
+use crate::shrink::shrink;
+
+/// Per-subprocess wall-clock ceiling; exceeding it is a `hang` violation.
+const SUBPROCESS_TIMEOUT: Duration = Duration::from_secs(120);
+
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Chaos batch configuration.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The `bootes` binary to drive (normally `std::env::current_exe()`).
+    pub bin: PathBuf,
+    /// Scratch directory for fixtures, caches, and sockets.
+    pub scratch: PathBuf,
+    /// Number of schedules to run.
+    pub seeds: u64,
+    /// First seed (schedules run `start_seed .. start_seed + seeds`).
+    pub start_seed: u64,
+    /// Requests per serve-workload run.
+    pub requests: usize,
+    /// Shrink failing schedules to a minimal repro (costs extra reruns).
+    pub shrink: bool,
+    /// Keep running the batch after a failing seed.
+    pub keep_going: bool,
+}
+
+impl ChaosConfig {
+    /// A default batch configuration for `bin`, scratched under the system
+    /// temp directory.
+    pub fn new(bin: PathBuf) -> ChaosConfig {
+        ChaosConfig {
+            bin,
+            scratch: std::env::temp_dir().join(format!("bootes-chaos-{}", std::process::id())),
+            seeds: 6,
+            start_seed: 0,
+            requests: 10,
+            shrink: true,
+            keep_going: false,
+        }
+    }
+}
+
+/// Outcome of one schedule (violations empty → passed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The generating seed.
+    pub seed: u64,
+    /// Workload name.
+    pub workload: String,
+    /// The armed failpoint spec.
+    pub spec: String,
+    /// Replay token for this exact schedule.
+    pub replay: String,
+    /// Violated invariants (empty → passed).
+    pub violations: Vec<Violation>,
+    /// Minimal failing replay token, when the schedule failed and shrinking
+    /// was enabled.
+    pub minimized: Option<String>,
+    /// Subprocess reruns spent shrinking.
+    pub shrink_reruns: usize,
+}
+
+/// Outcome of a whole batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Per-schedule outcomes.
+    pub runs: Vec<RunReport>,
+    /// Total violations across the batch.
+    pub violations: usize,
+}
+
+impl ChaosReport {
+    /// Whether every schedule passed.
+    pub fn passed(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// Serializes the report as JSON (the `--out` artifact CI uploads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the (in practice unreachable) serialization failure.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| e.to_string())
+    }
+}
+
+/// Runs a batch of generated schedules (`start_seed .. start_seed + seeds`).
+///
+/// # Errors
+///
+/// Returns infrastructure errors (fixture generation, scratch I/O) — *not*
+/// invariant violations, which land in the report.
+pub fn run_batch(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
+    let fixture = ensure_fixture(cfg)?;
+    let mut runs = Vec::new();
+    let mut violations = 0;
+    for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
+        let schedule = Schedule::generate(seed);
+        let report = run_and_shrink(cfg, &fixture, &schedule)?;
+        violations += report.violations.len();
+        let stop = !report.violations.is_empty() && !cfg.keep_going;
+        runs.push(report);
+        if stop {
+            break;
+        }
+    }
+    Ok(ChaosReport { runs, violations })
+}
+
+/// Runs one schedule (replay path) and, on failure, shrinks it.
+///
+/// # Errors
+///
+/// Returns infrastructure errors only.
+pub fn run_and_shrink(
+    cfg: &ChaosConfig,
+    fixture: &Path,
+    schedule: &Schedule,
+) -> Result<RunReport, String> {
+    bootes_obs::counter_add("chaos.runs", 1);
+    let violations = run_schedule(cfg, fixture, schedule)?;
+    let mut minimized = None;
+    let mut shrink_reruns = 0;
+    if !violations.is_empty() {
+        bootes_obs::counter_add("chaos.violations", violations.len() as u64);
+        if cfg.shrink && !schedule.entries.is_empty() {
+            let (min, reruns) = shrink(schedule, |candidate| {
+                bootes_obs::counter_add("chaos.shrink_reruns", 1);
+                run_schedule(cfg, fixture, candidate)
+                    .map(|v| !v.is_empty())
+                    .unwrap_or(false)
+            });
+            shrink_reruns = reruns;
+            minimized = Some(min.replay_string());
+        }
+    }
+    Ok(RunReport {
+        seed: schedule.seed,
+        workload: schedule.workload.name().to_string(),
+        spec: schedule.spec_string(),
+        replay: schedule.replay_string(),
+        violations,
+        minimized,
+        shrink_reruns,
+    })
+}
+
+/// Generates (once) the Matrix Market fixture the subprocess workloads read.
+///
+/// # Errors
+///
+/// Returns generation or I/O errors.
+pub fn ensure_fixture(cfg: &ChaosConfig) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(&cfg.scratch)
+        .map_err(|e| format!("create scratch {}: {e}", cfg.scratch.display()))?;
+    let path = cfg.scratch.join("fixture.mtx");
+    if !path.exists() {
+        let m = fixture_matrix(7)?;
+        let mut file =
+            std::fs::File::create(&path).map_err(|e| format!("create {}: {e}", path.display()))?;
+        bootes_sparse::io::write_matrix_market(&mut file, &m).map_err(|e| e.to_string())?;
+    }
+    Ok(path)
+}
+
+fn fixture_matrix(seed: u64) -> Result<CsrMatrix, String> {
+    clustered(&GenConfig::new(96, 96).seed(seed), 4, 0.85).map_err(|e| e.to_string())
+}
+
+/// Runs one schedule and returns its violations.
+///
+/// # Errors
+///
+/// Returns infrastructure errors only.
+pub fn run_schedule(
+    cfg: &ChaosConfig,
+    fixture: &Path,
+    schedule: &Schedule,
+) -> Result<Vec<Violation>, String> {
+    let tag = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = cfg.scratch.join(format!("run-{}-{tag}", schedule.seed));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let violations = match schedule.workload {
+        Workload::Pipeline => run_pipeline(cfg, fixture, schedule, &dir),
+        Workload::Serve => run_serve(cfg, schedule, &dir),
+        Workload::CrashRestart => run_crash_restart(cfg, fixture, schedule, &dir),
+    }?;
+    if violations.is_empty() {
+        // Bound scratch growth across a batch; failing run dirs are kept
+        // for post-mortem inspection.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Ok(violations)
+}
+
+/// A faulted command: `bootes` with the schedule's spec and seed armed via
+/// the environment. `faults: false` scrubs both variables so reference and
+/// recovery runs are clean even under a polluted parent environment.
+fn bootes_cmd(cfg: &ChaosConfig, schedule: &Schedule, faults: bool) -> Command {
+    let mut cmd = Command::new(&cfg.bin);
+    cmd.stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if faults {
+        cmd.env("BOOTES_FAILPOINTS", schedule.spec_string())
+            .env("BOOTES_FAILPOINT_SEED", schedule.seed.to_string());
+    } else {
+        cmd.env_remove("BOOTES_FAILPOINTS")
+            .env_remove("BOOTES_FAILPOINT_SEED");
+    }
+    cmd
+}
+
+/// Collects a child's output, killing it at [`SUBPROCESS_TIMEOUT`].
+struct Finished {
+    timed_out: bool,
+    success: bool,
+    code: String,
+    stdout: String,
+    stderr: String,
+}
+
+fn wait_collect(mut child: Child) -> Finished {
+    // Drain the pipes concurrently: a child blocked on a full stderr pipe
+    // would otherwise deadlock against our wait loop.
+    let stdout = child.stdout.take().map(drain_pipe);
+    let stderr = child.stderr.take().map(drain_pipe);
+    let deadline = Instant::now() + SUBPROCESS_TIMEOUT;
+    let mut timed_out = false;
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break Some(status),
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    timed_out = true;
+                    let _ = child.kill();
+                    break child.wait().ok();
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break None,
+        }
+    };
+    let join = |rx: Option<std::sync::mpsc::Receiver<String>>| {
+        rx.and_then(|rx| rx.recv_timeout(Duration::from_secs(5)).ok())
+            .unwrap_or_default()
+    };
+    Finished {
+        timed_out,
+        success: status
+            .as_ref()
+            .is_some_and(std::process::ExitStatus::success),
+        code: status.map_or_else(|| "unknown".to_string(), |s| format!("{s}")),
+        stdout: join(stdout),
+        stderr: join(stderr),
+    }
+}
+
+fn drain_pipe<R: Read + Send + 'static>(mut pipe: R) -> std::sync::mpsc::Receiver<String> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut buf = String::new();
+        let _ = pipe.read_to_string(&mut buf);
+        let _ = tx.send(buf);
+    });
+    rx
+}
+
+fn tail(s: &str) -> String {
+    let lines: Vec<&str> = s.lines().rev().take(4).collect();
+    lines.into_iter().rev().collect::<Vec<_>>().join(" | ")
+}
+
+/// The `bootes reorder` invocation every subprocess workload shares.
+fn reorder_args(fixture: &Path, out: &Path, cache_dir: &Path) -> Vec<String> {
+    vec![
+        "reorder".to_string(),
+        fixture.display().to_string(),
+        "-o".to_string(),
+        out.display().to_string(),
+        "--algo".to_string(),
+        "bootes".to_string(),
+        "--cache-dir".to_string(),
+        cache_dir.display().to_string(),
+        "--time-budget-ms".to_string(),
+        "30000".to_string(),
+    ]
+}
+
+fn check_reorder_output(fixture: &Path, out: &Path, violations: &mut Vec<Violation>) {
+    let parse = |p: &Path| -> Result<CsrMatrix, String> {
+        let f = std::fs::File::open(p).map_err(|e| e.to_string())?;
+        read_matrix_market(BufReader::new(f)).map_err(|e| e.to_string())
+    };
+    let input = match parse(fixture) {
+        Ok(m) => m,
+        Err(e) => {
+            violations.push(Violation::new(
+                "fixture",
+                format!("unreadable fixture: {e}"),
+            ));
+            return;
+        }
+    };
+    match parse(out) {
+        Ok(m) => {
+            if (m.nrows(), m.ncols(), m.nnz()) != (input.nrows(), input.ncols(), input.nnz()) {
+                violations.push(Violation::new(
+                    "output-shape",
+                    format!(
+                        "reordered output is {}x{} ({} nnz), input was {}x{} ({} nnz)",
+                        m.nrows(),
+                        m.ncols(),
+                        m.nnz(),
+                        input.nrows(),
+                        input.ncols(),
+                        input.nnz()
+                    ),
+                ));
+            }
+        }
+        Err(e) => violations.push(Violation::new(
+            "output-invalid",
+            format!("{}: {e}", out.display()),
+        )),
+    }
+}
+
+fn run_pipeline(
+    cfg: &ChaosConfig,
+    fixture: &Path,
+    schedule: &Schedule,
+    dir: &Path,
+) -> Result<Vec<Violation>, String> {
+    let out = dir.join("out.mtx");
+    let cache = dir.join("cache");
+    let mut cmd = bootes_cmd(cfg, schedule, true);
+    cmd.args(reorder_args(fixture, &out, &cache));
+    let child = cmd
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", cfg.bin.display()))?;
+    let fin = wait_collect(child);
+    let mut violations = Vec::new();
+    if fin.timed_out {
+        violations.push(Violation::new(
+            "hang",
+            format!("pipeline run exceeded {SUBPROCESS_TIMEOUT:?}"),
+        ));
+        return Ok(violations);
+    }
+    if !fin.success {
+        // Budget ceilings and injected faults must degrade, never fail: any
+        // nonzero exit (including an escaped panic's 101 or an abort) is a
+        // violation for this workload.
+        violations.push(Violation::new(
+            "exit-status",
+            format!(
+                "pipeline run exited {} — stdout: {} — stderr: {}",
+                fin.code,
+                tail(&fin.stdout),
+                tail(&fin.stderr)
+            ),
+        ));
+        return Ok(violations);
+    }
+    check_reorder_output(fixture, &out, &mut violations);
+    Ok(violations)
+}
+
+fn run_crash_restart(
+    cfg: &ChaosConfig,
+    fixture: &Path,
+    schedule: &Schedule,
+    dir: &Path,
+) -> Result<Vec<Violation>, String> {
+    let cache = dir.join("cache");
+    let ref_cache = dir.join("ref-cache");
+    let ref_out = dir.join("ref.mtx");
+    let mut violations = Vec::new();
+
+    // Fault-free reference on a private cache dir.
+    let mut cmd = bootes_cmd(cfg, schedule, false);
+    cmd.args(reorder_args(fixture, &ref_out, &ref_cache));
+    let fin = wait_collect(cmd.spawn().map_err(|e| e.to_string())?);
+    if !fin.success {
+        violations.push(Violation::new(
+            "reference-run",
+            format!(
+                "fault-free reference exited {} — {}",
+                fin.code,
+                tail(&fin.stderr)
+            ),
+        ));
+        return Ok(violations);
+    }
+
+    // Crash run: the kill failpoint aborts inside the torn-write window.
+    // Whether it actually fired (nonzero exit) is not asserted — a shrunk
+    // schedule may have dropped the kill, and then this is just a normal run.
+    let crash_out = dir.join("crash.mtx");
+    let mut cmd = bootes_cmd(cfg, schedule, true);
+    cmd.args(reorder_args(fixture, &crash_out, &cache));
+    let fin = wait_collect(cmd.spawn().map_err(|e| e.to_string())?);
+    if fin.timed_out {
+        violations.push(Violation::new("hang", "crash run exceeded the timeout"));
+        return Ok(violations);
+    }
+
+    // Restart on the same cache dir: must recover fully.
+    let out1 = dir.join("restart.mtx");
+    let mut cmd = bootes_cmd(cfg, schedule, false);
+    cmd.args(reorder_args(fixture, &out1, &cache));
+    let fin = wait_collect(cmd.spawn().map_err(|e| e.to_string())?);
+    if !fin.success {
+        violations.push(Violation::new(
+            "restart-failed",
+            format!("restart exited {} — {}", fin.code, tail(&fin.stderr)),
+        ));
+        return Ok(violations);
+    }
+    if let Some(orphan) = find_tmp_file(&cache) {
+        violations.push(Violation::new(
+            "torn-entry-left",
+            format!("stale temp file survived the restart: {orphan}"),
+        ));
+    }
+    check_bitwise_match(&ref_out, &out1, "recovery-divergence", &mut violations);
+
+    // One more run answers from the recovered cache: a hit must be
+    // bit-identical to the recompute.
+    let out2 = dir.join("cached.mtx");
+    let mut cmd = bootes_cmd(cfg, schedule, false);
+    cmd.args(reorder_args(fixture, &out2, &cache));
+    let fin = wait_collect(cmd.spawn().map_err(|e| e.to_string())?);
+    if !fin.success {
+        violations.push(Violation::new(
+            "cached-run-failed",
+            format!("cache-hit run exited {} — {}", fin.code, tail(&fin.stderr)),
+        ));
+        return Ok(violations);
+    }
+    check_bitwise_match(&ref_out, &out2, "cache-divergence", &mut violations);
+    Ok(violations)
+}
+
+/// First `.*.tmp` left anywhere in the cache dir, as a display string.
+fn find_tmp_file(cache: &Path) -> Option<String> {
+    let entries = std::fs::read_dir(cache).ok()?;
+    for entry in entries.filter_map(|e| e.ok()) {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') && name.ends_with(".tmp") {
+            return Some(entry.path().display().to_string());
+        }
+    }
+    None
+}
+
+fn check_bitwise_match(reference: &Path, got: &Path, oracle: &str, out: &mut Vec<Violation>) {
+    match (std::fs::read(reference), std::fs::read(got)) {
+        (Ok(a), Ok(b)) if a == b => {}
+        (Ok(_), Ok(_)) => out.push(Violation::new(
+            oracle,
+            format!(
+                "{} differs bytewise from the fault-free reference {}",
+                got.display(),
+                reference.display()
+            ),
+        )),
+        (Err(e), _) => out.push(Violation::new(oracle, format!("read reference: {e}"))),
+        (_, Err(e)) => out.push(Violation::new(oracle, format!("read output: {e}"))),
+    }
+}
+
+fn run_serve(cfg: &ChaosConfig, schedule: &Schedule, dir: &Path) -> Result<Vec<Violation>, String> {
+    let sock = dir.join("chaos.sock");
+    let mut cmd = bootes_cmd(cfg, schedule, true);
+    cmd.args([
+        "serve",
+        "--listen",
+        &format!("unix:{}", sock.display()),
+        "--serve-workers",
+        "2",
+        "--queue-cap",
+        "16",
+        "--drain-grace-ms",
+        "5000",
+    ]);
+    let mut child = cmd.spawn().map_err(|e| format!("spawn serve: {e}"))?;
+    let mut violations = Vec::new();
+
+    // Readiness line; a daemon that dies at startup yields EOF, not a hang.
+    let mut stdout = BufReader::new(
+        child
+            .stdout
+            .take()
+            .ok_or("serve child has no stdout pipe")?,
+    );
+    let mut line = String::new();
+    let addr = match stdout.read_line(&mut line) {
+        Ok(n) if n > 0 && line.contains("listening on ") => line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .unwrap_or_default()
+            .to_string(),
+        _ => {
+            let _ = child.kill();
+            let _ = child.wait();
+            violations.push(Violation::new(
+                "daemon-startup",
+                format!("no readiness line (got {line:?})"),
+            ));
+            return Ok(violations);
+        }
+    };
+    let stderr_rx = child.stderr.take().map(drain_pipe);
+    // The readiness line came off this BufReader, so wait_collect below has
+    // no stdout pipe left; drain the remainder (the drained-counters line)
+    // through a thread the same way.
+    let stdout_rx = drain_pipe(stdout);
+
+    drive_serve_requests(cfg, schedule, &addr, &mut violations);
+
+    // Drain and verify the exit. The shutdown request itself retries on
+    // transport faults (serve.accept can drop the shutter's connection too).
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        base_ms: 5,
+        max_backoff_ms: 100,
+        jitter_seed: schedule.seed,
+    };
+    match Client::connect(&addr) {
+        Ok(mut shutter) => {
+            let _ = shutter.set_read_timeout(Some(Duration::from_secs(60)));
+            let req = Request {
+                id: 999_999,
+                op: "shutdown".to_string(),
+                ..Request::default()
+            };
+            if let Err(e) = shutter.request_with_retry(&req, &policy) {
+                violations.push(Violation::new("drain", format!("shutdown unanswered: {e}")));
+            }
+        }
+        Err(e) => violations.push(Violation::new("drain", format!("shutdown connect: {e}"))),
+    }
+    let fin = wait_collect(child);
+    if fin.timed_out {
+        violations.push(Violation::new("hang", "daemon did not exit after drain"));
+        return Ok(violations);
+    }
+    if !fin.success {
+        violations.push(Violation::new(
+            "exit-status",
+            format!(
+                "daemon exited {} — stderr: {}{}",
+                fin.code,
+                tail(&fin.stderr),
+                stderr_rx
+                    .and_then(|rx| rx.recv_timeout(Duration::from_secs(2)).ok())
+                    .map(|s| format!(" | {}", tail(&s)))
+                    .unwrap_or_default()
+            ),
+        ));
+    }
+    // The drained counters line: every admitted request must have executed.
+    // It arrives via stdout_rx — the readiness read consumed the stdout pipe,
+    // so wait_collect had nothing left to capture there.
+    let stdout_text = stdout_rx
+        .recv_timeout(Duration::from_secs(5))
+        .unwrap_or_default();
+    let mut drained = stdout_text.lines().filter(|l| l.contains("drained:"));
+    match drained.next() {
+        Some(l) => {
+            let nums: Vec<u64> = l
+                .split(|c: char| !c.is_ascii_digit())
+                .filter(|s| !s.is_empty())
+                .filter_map(|s| s.parse().ok())
+                .collect();
+            if let (Some(&accepted), Some(&completed)) = (nums.first(), nums.get(1)) {
+                if accepted != completed {
+                    violations.push(Violation::new(
+                        "drain-imbalance",
+                        format!("{accepted} accepted but only {completed} completed: {l}"),
+                    ));
+                }
+            }
+        }
+        None => violations.push(Violation::new(
+            "drain",
+            "no drained-counters line on stdout",
+        )),
+    }
+    Ok(violations)
+}
+
+/// Sends the request load and checks the per-request oracles.
+fn drive_serve_requests(
+    cfg: &ChaosConfig,
+    schedule: &Schedule,
+    addr: &str,
+    violations: &mut Vec<Violation>,
+) {
+    let payloads: Vec<MatrixPayload> = [3u64, 5, 7]
+        .iter()
+        .filter_map(|&s| fixture_matrix(s).ok())
+        .map(|m| MatrixPayload::from_csr(&m))
+        .collect();
+    if payloads.is_empty() {
+        violations.push(Violation::new("fixture", "payload generation failed"));
+        return;
+    }
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        base_ms: 5,
+        max_backoff_ms: 100,
+        jitter_seed: schedule.seed,
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            violations.push(Violation::new("connect", e.to_string()));
+            return;
+        }
+    };
+    let _ = client.set_read_timeout(Some(Duration::from_secs(60)));
+    // First non-degraded permutation per payload: later non-degraded answers
+    // (cache hits or recomputes alike) must be bit-identical — the pipeline
+    // is deterministic and the cache never stores degraded artifacts.
+    let mut golden: Vec<Option<Vec<usize>>> = vec![None; payloads.len()];
+    for i in 0..cfg.requests {
+        let slot = i % payloads.len();
+        let op = if i % 4 == 3 { "decide" } else { "preprocess" };
+        let req = Request {
+            id: i as u64 + 1,
+            op: op.to_string(),
+            matrix: Some(payloads[slot].clone()),
+            // A generous deadline on part of the load keeps the deadline
+            // machinery exercised without making slow-but-correct answers
+            // count as violations.
+            deadline_ms: if i % 3 == 0 { Some(60_000) } else { None },
+            ..Request::default()
+        };
+        match client.request_with_retry(&req, &policy) {
+            Ok(resp) => {
+                if !resp.ok {
+                    // A typed failure is an *answer* (the injected-fault
+                    // paths produce them); only silence is a violation.
+                    continue;
+                }
+                if op == "preprocess" && !resp.degraded {
+                    if let Some(perm) = &resp.permutation {
+                        match &golden[slot] {
+                            None => golden[slot] = Some(perm.clone()),
+                            Some(g) if g == perm => {}
+                            Some(_) => violations.push(Violation::new(
+                                "cache-divergence",
+                                format!(
+                                    "request {} (payload {slot}, cache_hit={}) returned a \
+                                     permutation differing from an earlier non-degraded answer",
+                                    req.id, resp.cache_hit
+                                ),
+                            )),
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                violations.push(Violation::new(
+                    "unanswered-request",
+                    format!("request {}: {e}", req.id),
+                ));
+                // The connection may be wedged; a fresh one keeps the rest
+                // of the load meaningful.
+                if let Ok(c) = Client::connect(addr) {
+                    client = c;
+                    let _ = client.set_read_timeout(Some(Duration::from_secs(60)));
+                }
+            }
+        }
+    }
+}

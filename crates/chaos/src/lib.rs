@@ -1,0 +1,37 @@
+//! bootes-chaos: seeded chaos engineering for the Bootes stack.
+//!
+//! Deterministic failpoints (`BOOTES_FAILPOINTS="site=err@3"`) only test the
+//! failures someone already thought to enumerate. This crate closes the gap:
+//! it *generates* fault schedules from a seed — probabilistic errors,
+//! injected delays, panics, and kill-without-unwinding crash drills — runs
+//! real `bootes` subprocesses under them, and checks invariant oracles after
+//! every run:
+//!
+//! - no panic escapes an isolation boundary (subprocess exit status),
+//! - every admitted request is answered (retrying client converges),
+//! - cache hits are bit-identical to recompute,
+//! - budget ceilings degrade work instead of failing it,
+//! - a process killed mid-cache-write recovers fully on restart (torn temp
+//!   files swept, results bit-identical to a fault-free run).
+//!
+//! Everything replays from a `(seed, workload)` pair: the schedule generator
+//! is seeded ([`Schedule::generate`]), probabilistic failpoint firing is
+//! seeded (`BOOTES_FAILPOINT_SEED`), and the retrying client's jitter is
+//! seeded. A failing schedule is shrunk ([`shrink::shrink`]) by dropping
+//! faults one at a time while the failure reproduces, down to a 1-minimal
+//! replay token (`seed:workload:spec`) accepted by `bootes chaos --replay`.
+//!
+//! Metrics: `chaos.runs`, `chaos.violations`, `chaos.shrink_reruns` (see the
+//! `bootes-obs` catalog).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod oracle;
+pub mod schedule;
+pub mod shrink;
+
+pub use driver::{run_and_shrink, run_batch, ChaosConfig, ChaosReport, RunReport};
+pub use oracle::Violation;
+pub use schedule::{FaultEntry, Schedule, Workload};

@@ -1,0 +1,30 @@
+//! Invariant oracles checked after every chaos run.
+
+use serde::{Deserialize, Serialize};
+
+/// One violated invariant. A run with an empty violation list passed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Which invariant failed (stable machine-readable name, e.g.
+    /// `exit-status`, `unanswered-request`, `torn-entry-left`,
+    /// `cache-divergence`, `drain-imbalance`, `hang`).
+    pub oracle: String,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Builds a violation.
+    pub fn new(oracle: impl Into<String>, detail: impl Into<String>) -> Violation {
+        Violation {
+            oracle: oracle.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}

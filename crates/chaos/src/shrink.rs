@@ -1,0 +1,103 @@
+//! Automatic shrinking of failing schedules.
+//!
+//! Drop-one-at-a-time to a fixed point: for each entry, try the schedule
+//! without it; if the failure still reproduces, the entry was irrelevant and
+//! stays removed. The result is a 1-minimal failing schedule — removing any
+//! single remaining entry makes the failure disappear — which is the spec
+//! worth pasting into a bug report.
+
+use crate::schedule::Schedule;
+
+/// Shrinks `schedule` against `still_fails` (a rerun returning whether the
+/// failure reproduces). Returns the minimized schedule and the number of
+/// reruns spent. The original schedule is assumed failing; the worst case is
+/// O(n²) reruns for n entries (n is small — schedules carry at most a
+/// handful of faults).
+pub fn shrink<F>(schedule: &Schedule, mut still_fails: F) -> (Schedule, usize)
+where
+    F: FnMut(&Schedule) -> bool,
+{
+    let mut current = schedule.clone();
+    let mut reruns = 0;
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < current.entries.len() {
+            let mut candidate = current.clone();
+            candidate.entries.remove(i);
+            reruns += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                // Same index now holds the next entry.
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            return (current, reruns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultEntry, Workload};
+
+    fn sched(specs: &[&str]) -> Schedule {
+        Schedule {
+            seed: 99,
+            workload: Workload::Pipeline,
+            entries: specs
+                .iter()
+                .map(|s| FaultEntry {
+                    spec: (*s).to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let full = sched(&["a=err@1", "b=panic@2", "c=delay:5ms@1", "d=err%0.25"]);
+        // The failure reproduces iff the culprit `b=panic@2` is armed.
+        let (min, reruns) = shrink(&full, |s| s.entries.iter().any(|e| e.spec == "b=panic@2"));
+        assert_eq!(min.entries.len(), 1);
+        assert_eq!(min.entries[0].spec, "b=panic@2");
+        assert!(
+            reruns >= full.entries.len(),
+            "each entry tried at least once"
+        );
+    }
+
+    #[test]
+    fn shrinks_to_a_required_pair() {
+        let full = sched(&["a=err@1", "b=err@1", "c=err@1"]);
+        let needs = |s: &Schedule| {
+            let has = |spec: &str| s.entries.iter().any(|e| e.spec == spec);
+            has("a=err@1") && has("c=err@1")
+        };
+        let (min, _) = shrink(&full, needs);
+        assert_eq!(min.entries.len(), 2);
+        assert!(needs(&min));
+    }
+
+    #[test]
+    fn irreducible_schedule_is_unchanged() {
+        let full = sched(&["a=err@1"]);
+        let (min, reruns) = shrink(&full, |s| !s.entries.is_empty());
+        assert_eq!(min, full);
+        assert_eq!(reruns, 1);
+    }
+
+    #[test]
+    fn failure_independent_of_entries_shrinks_to_empty() {
+        let full = sched(&["a=err@1", "b=err@1"]);
+        let (min, _) = shrink(&full, |_| true);
+        assert!(
+            min.entries.is_empty(),
+            "a seed-only failure needs no faults"
+        );
+    }
+}

@@ -18,8 +18,12 @@
 //!   budget all travel the same degradation path in `core::pipeline`.
 //! - Failpoints: `BOOTES_FAILPOINTS="lanczos.restart=err@3,kmeans.iter=panic@1"`
 //!   deterministically injects a typed error (or a panic) at the Nth hit of a
-//!   named site. The facility is a single relaxed atomic load when unset, so
-//!   production runs pay nothing.
+//!   named site; `site=err%0.01` fires probabilistically from a seeded stream
+//!   (`BOOTES_FAILPOINT_SEED`), `site=delay:25ms` widens race windows, and
+//!   `site=kill` aborts without unwinding for crash drills. The facility is a
+//!   single relaxed atomic load when unset, so production runs pay nothing.
+//!   [`ScopedFailpoints`] arms a spec for a lexical scope and restores the
+//!   previous one on drop.
 //!
 //! # Checkpoint protocol
 //!
@@ -51,5 +55,8 @@ mod tenant;
 
 pub use budget::{check_bytes, checkpoint, ArmedBudget, Budget, Watchdog};
 pub use error::{panic_message, GuardError, Resource};
-pub use failpoint::{clear_failpoints, fail_point, set_failpoints};
+pub use failpoint::{
+    clear_failpoints, current_failpoints, fail_point, set_failpoint_seed, set_failpoints,
+    set_failpoints_seeded, ScopedFailpoints,
+};
 pub use tenant::{TenantBudgets, TenantPermit, TenantPolicy};

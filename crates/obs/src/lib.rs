@@ -69,10 +69,13 @@
 //! | `guard.fallback` | degradation steps taken by the fallback chain |
 //! | `guard.fallback.from.<rung>` | degradation steps attributed to the named failed rung |
 //! | `guard.failpoint` | deterministic faults fired by `BOOTES_FAILPOINTS` |
+//! | `guard.failpoint.delay` | injected `delay:Nms` failpoint firings (sleep in place, no error) |
 //! | `cache.hit` | artifact-cache lookups served from memory or disk (`bootes-cache`) |
 //! | `cache.miss` | artifact-cache lookups that found nothing valid |
 //! | `cache.evict` | entries evicted from the in-memory LRU (incl. oversized rejects) |
 //! | `cache.quarantine` | corrupt on-disk entries moved to `quarantine/` |
+//! | `cache.quarantine_evicted` | oldest quarantined entries removed to keep `quarantine/` within its cap |
+//! | `cache.tmp_swept` | orphaned temp files from torn writes removed by the open-time sweep |
 //! | `kernel.flops{kernel=<name>}` | scalar multiply-accumulates performed by the named kernel (`spgemm.dense_acc`, `spgemm.hash_acc`, `similarity.rows`, `spmv`, `kmeans.assign`) |
 //! | `kernel.bytes{kernel=<name>}` | estimated bytes moved (operand reads + output writes) by the named kernel |
 //! | `par.region.wall_ns{region=<name>}` | accumulated wall time of the named parallel region across invocations (`bootes-par`) |
@@ -91,6 +94,13 @@
 //! | `serve.coalesce.hits` | requests served by singleflight-coalescing onto an identical in-flight computation |
 //! | `serve.cache.hits` | daemon requests whose leader was answered from the artifact cache |
 //! | `serve.tenant.bytes{tenant=<name>}` | payload bytes admitted per tenant (admission accounting) |
+//! | `serve.deadline.rejected` | requests whose `deadline_ms` expired in-queue (typed reject, never executed) |
+//! | `serve.deadline.exceeded` | requests that executed but finished past their deadline (full answer, flagged) |
+//! | `serve.client.retries` | retrying-client attempts repeated after a hinted rejection (`retry_after_ms`) |
+//! | `serve.client.reconnects` | retrying-client reconnects after a transport failure |
+//! | `chaos.runs` | chaos schedules executed by `bootes chaos` (including shrink reruns) |
+//! | `chaos.violations` | invariant violations found across a chaos batch |
+//! | `chaos.shrink_reruns` | subprocess reruns spent minimizing failing schedules |
 //!
 //! The `kernel.*` counters pair with `par.region.wall_ns` under the same
 //! name to yield achieved MFLOP/s and GB/s per kernel (see

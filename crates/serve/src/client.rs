@@ -1,4 +1,7 @@
-//! Minimal blocking client for the serve protocol (tests, benches, CLI).
+//! Minimal blocking client for the serve protocol (tests, benches, CLI),
+//! plus the retry discipline: [`Client::request_with_retry`] reconnects on
+//! transport failure and backs off exponentially (with deterministic jitter)
+//! on well-formed rejections, honoring the server's `retry_after_ms` hint.
 
 use std::io::{BufRead, BufReader, Write};
 use std::time::Duration;
@@ -6,10 +9,73 @@ use std::time::Duration;
 use crate::protocol::{decode, encode, MatrixPayload, Request, Response};
 use crate::server::{connect, Stream};
 
+/// Retry discipline for [`Client::request_with_retry`].
+///
+/// A *rejection* (a well-formed `ok: false` response carrying a
+/// `retry_after_ms` hint — admission, queue-full, draining) and a *transport
+/// failure* (connection refused/reset mid-request) are both retried, up to
+/// `max_attempts` total attempts. Rejections without a hint (malformed
+/// payload, deadline exceeded, execution errors) are returned immediately:
+/// retrying cannot change them.
+///
+/// The backoff before attempt `n` (1-based retries) is
+/// `min(base_ms · 2ⁿ⁻¹, max_backoff_ms)` scaled by a jitter factor in
+/// `[0.5, 1.0]`, and never less than the server's `retry_after_ms` hint when
+/// one was given. Jitter is drawn from a SplitMix64 stream seeded with
+/// `jitter_seed ^ request id`, so a fixed seed replays the same backoff
+/// schedule — chaos runs stay reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempt budget (first try included). 0 is treated as 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_ms: 10,
+            max_backoff_ms: 500,
+            jitter_seed: 0,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `retry` (1-based) of the
+    /// request with `id`, floored at the server's `hint_ms` when present.
+    fn backoff(&self, id: u64, retry: u32, hint_ms: Option<u64>) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << (retry - 1).min(20))
+            .min(self.max_backoff_ms);
+        let mut state = self.jitter_seed ^ id ^ u64::from(retry).rotate_left(32);
+        let unit = (splitmix64(&mut state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let jittered = (exp as f64 * (0.5 + 0.5 * unit)).round() as u64;
+        Duration::from_millis(jittered.max(hint_ms.unwrap_or(0)))
+    }
+}
+
 /// One connection to a serve daemon; requests are answered in order.
 pub struct Client {
+    addr: String,
     reader: BufReader<Stream>,
     writer: Stream,
+    read_timeout: Option<Duration>,
     next_id: u64,
 }
 
@@ -24,19 +90,36 @@ impl Client {
         let stream = connect(addr)?;
         let writer = stream.try_clone()?;
         Ok(Client {
+            addr: addr.to_string(),
             reader: BufReader::new(stream),
             writer,
+            read_timeout: None,
             next_id: 1,
         })
     }
 
-    /// Caps how long [`Client::request`] waits for a response line.
+    /// Caps how long [`Client::request`] waits for a response line. The
+    /// timeout survives a retry-driven reconnect.
     ///
     /// # Errors
     ///
     /// Propagates the socket-option error.
-    pub fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> std::io::Result<()> {
+        self.read_timeout = t;
         self.reader.get_ref().set_read_timeout(t)
+    }
+
+    /// Drops the current connection and dials the original address again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect or socket-option error.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = connect(&self.addr)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        Ok(())
     }
 
     /// Sends one request and blocks for its response.
@@ -60,6 +143,52 @@ impl Client {
             return Err("server closed the connection".to_string());
         }
         decode(reply.trim_end())
+    }
+
+    /// Sends a request under `policy`: transport failures reconnect and
+    /// retry, hinted rejections back off (jittered exponential, floored at
+    /// the server's `retry_after_ms`) and retry. Returns the first
+    /// conclusive response, or — once the attempt budget is spent — the last
+    /// rejection (`Ok` with `ok: false`) or transport error (`Err`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the final transport failure when every attempt died on the
+    /// wire.
+    pub fn request_with_retry(
+        &mut self,
+        req: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<Response, String> {
+        let attempts = policy.max_attempts.max(1);
+        let mut last_err = String::new();
+        for attempt in 1..=attempts {
+            match self.request(req) {
+                Ok(resp) => {
+                    let hinted_reject = !resp.ok && resp.retry_after_ms.is_some();
+                    if !hinted_reject || attempt == attempts {
+                        return Ok(resp);
+                    }
+                    bootes_obs::counter_add("serve.client.retries", 1);
+                    std::thread::sleep(policy.backoff(req.id, attempt, resp.retry_after_ms));
+                }
+                Err(e) => {
+                    last_err = e;
+                    if attempt == attempts {
+                        break;
+                    }
+                    bootes_obs::counter_add("serve.client.reconnects", 1);
+                    std::thread::sleep(policy.backoff(req.id, attempt, None));
+                    if let Err(e) = self.reconnect() {
+                        last_err = format!("reconnect: {e}");
+                    }
+                }
+            }
+        }
+        Err(format!(
+            "request {} failed after {attempts} attempts: {last_err}",
+            req.id
+        ))
     }
 
     fn take_id(&mut self) -> u64 {
@@ -113,6 +242,7 @@ impl Client {
             op: "preprocess".to_string(),
             tenant: tenant.map(str::to_string),
             matrix: Some(payload),
+            ..Request::default()
         })
     }
 

@@ -35,7 +35,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use protocol::{MatrixPayload, Request, Response, ServerStats};
 pub use server::{start, ServeConfig, ServerHandle};
 

@@ -127,6 +127,14 @@ pub struct Request {
     /// Matrix payload for `preprocess` / `decide`.
     #[serde(default)]
     pub matrix: Option<MatrixPayload>,
+    /// Per-request deadline in milliseconds, measured from the instant the
+    /// server reads the request line. Work still queued when the deadline
+    /// passes is answered with a typed `deadline exceeded` rejection (never
+    /// silently dropped); work that *finishes* past the deadline is still
+    /// answered in full but flagged `deadline_exceeded` so the caller knows
+    /// the result arrived late. Missing/zero → no deadline.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
 }
 
 /// Server counters snapshot returned by the `stats` operation.
@@ -156,6 +164,13 @@ pub struct ServerStats {
     /// Lines that failed to parse as a request.
     #[serde(default)]
     pub parse_errors: u64,
+    /// Requests rejected at dequeue because their deadline had already
+    /// passed while queued (answered with a typed rejection).
+    #[serde(default)]
+    pub deadline_rejected: u64,
+    /// Requests answered in full but after their stated deadline.
+    #[serde(default)]
+    pub deadline_exceeded: u64,
     /// Current queue depth.
     #[serde(default)]
     pub queue_depth: u64,
@@ -204,6 +219,12 @@ pub struct Response {
     /// drain with budget revocation).
     #[serde(default)]
     pub degraded: bool,
+    /// True when the request's `deadline_ms` had passed by the time this
+    /// response was produced — either a typed rejection (work was still
+    /// queued; `ok` is false and `error` says so) or a late full answer
+    /// (`ok` is true, result is valid, it just missed the deadline).
+    #[serde(default)]
+    pub deadline_exceeded: bool,
     /// Milliseconds spent waiting in the admission queue.
     #[serde(default)]
     pub queue_ms: f64,

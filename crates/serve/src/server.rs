@@ -105,6 +105,12 @@ struct Job {
     _permit: TenantPermit,
     reply: mpsc::Sender<Response>,
     enqueued: Instant,
+    /// Absolute deadline (from the request's `deadline_ms`, measured at
+    /// admission). Checked at dequeue: past-deadline work is answered with a
+    /// typed rejection instead of burning a worker on an answer nobody
+    /// wants; work that starts in time but finishes late is still answered
+    /// in full, flagged `deadline_exceeded`.
+    deadline: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -117,6 +123,8 @@ struct Counters {
     coalesced: AtomicU64,
     cache_hits: AtomicU64,
     parse_errors: AtomicU64,
+    deadline_rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
 }
 
 struct Shared {
@@ -172,6 +180,8 @@ impl Shared {
             coalesced: c.coalesced.load(Ordering::Relaxed),
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             parse_errors: c.parse_errors.load(Ordering::Relaxed),
+            deadline_rejected: c.deadline_rejected.load(Ordering::Relaxed),
+            deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
             queue_depth: self.lock_queue().len() as u64,
             inflight: self.inflight.load(Ordering::Relaxed),
             draining: self.draining(),
@@ -672,6 +682,10 @@ fn submit_work(shared: &Arc<Shared>, op: WorkOp, req: Request) -> Response {
     // Counted before any verdict: the drain's delivery wait covers every
     // work response — completions, errors, and rejects alike.
     shared.work_seen.fetch_add(1, Ordering::AcqRel);
+    let deadline = req
+        .deadline_ms
+        .filter(|&ms| ms > 0)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
     if shared.draining() {
         shared
             .counters
@@ -726,6 +740,7 @@ fn submit_work(shared: &Arc<Shared>, op: WorkOp, req: Request) -> Response {
                 _permit: permit,
                 reply: tx,
                 enqueued: Instant::now(),
+                deadline,
             });
             bootes_obs::gauge_set("serve.queue.depth", queue.len() as f64);
             Verdict::Enqueued
@@ -789,12 +804,46 @@ fn worker_loop(shared: &Arc<Shared>) {
         shared.inflight.fetch_add(1, Ordering::AcqRel);
         let queue_wait = job.enqueued.elapsed();
         bootes_obs::histogram_record("serve.queue.wait_ns", queue_wait.as_nanos() as u64);
-        let started = Instant::now();
-        let mut resp = execute(shared, &job);
-        let exec = started.elapsed();
-        bootes_obs::histogram_record("serve.exec_ns", exec.as_nanos() as u64);
+        let mut resp = if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            // The deadline passed while the job sat in the queue: answer with
+            // a typed rejection instead of spending a worker on a result the
+            // caller has already given up on. This still counts as completed
+            // — the drain invariant is "every admitted request is answered",
+            // and this is its answer.
+            shared
+                .counters
+                .deadline_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            bootes_obs::counter_add("serve.deadline.rejected", 1);
+            Response {
+                deadline_exceeded: true,
+                ..Response::err(
+                    job.id,
+                    format!(
+                        "deadline exceeded: waited {:.1} ms in queue",
+                        queue_wait.as_secs_f64() * 1e3
+                    ),
+                )
+            }
+        } else {
+            let started = Instant::now();
+            let mut resp = execute(shared, &job);
+            let exec = started.elapsed();
+            bootes_obs::histogram_record("serve.exec_ns", exec.as_nanos() as u64);
+            resp.exec_ms = exec.as_secs_f64() * 1e3;
+            if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                // Started in time, finished late: the result is valid and is
+                // delivered in full, just flagged so the caller knows.
+                resp.deadline_exceeded = true;
+                shared
+                    .counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                bootes_obs::counter_add("serve.deadline.exceeded", 1);
+            }
+            resp
+        };
         resp.queue_ms = queue_wait.as_secs_f64() * 1e3;
-        resp.exec_ms = exec.as_secs_f64() * 1e3;
         shared.counters.completed.fetch_add(1, Ordering::Relaxed);
         bootes_obs::counter_add("serve.completed", 1);
         let _ = job.reply.send(resp);

@@ -22,7 +22,11 @@
 //! - `serve [--listen ADDR]` — run the long-lived reorder/decision daemon:
 //!   newline-delimited JSON over a Unix or TCP socket, with bounded
 //!   admission, per-tenant budgets, singleflight coalescing of identical
-//!   in-flight requests, and graceful drain on the `shutdown` op.
+//!   in-flight requests, and graceful drain on the `shutdown` op,
+//! - `chaos [--seeds N]` — run seeded random fault schedules against
+//!   pipeline, serve, and crash-restart workloads in subprocesses, check the
+//!   invariant oracles, and shrink any failing schedule to a minimal replay
+//!   token (`--replay TOKEN` reruns one).
 //!
 //! Every subcommand also accepts the global flags:
 //!
@@ -108,6 +112,13 @@ usage:
                    Newline-delimited JSON; ops: preprocess, decide, ping,
                    stats, shutdown. A shutdown request drains gracefully and
                    is answered after the drain.)
+  bootes chaos    [--seeds N] [--seed S] [--requests N] [--scratch DIR]
+                  [--replay TOKEN] [--out FILE.json] [--keep-going]
+                  [--no-shrink]
+                  (N seeded random fault schedules against subprocess
+                   workloads — exit 1 on any invariant violation, with the
+                   failing schedule shrunk to a minimal seed:workload:spec
+                   replay token)
 global flags (any subcommand):
   --threads N             worker threads for the parallel kernels (default:
                           all cores; BOOTES_THREADS=N also works; output is
@@ -356,6 +367,7 @@ fn run(args: &[String], prof: &ProfileOpts) -> Result<(), String> {
         "analyze" => cmd_analyze(&args[1..]),
         "perf" => cmd_perf(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "chaos" => cmd_chaos(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -849,6 +861,103 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         stats.rejected_draining,
     );
     Ok(())
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let bin = std::env::current_exe().map_err(|e| format!("locate own binary: {e}"))?;
+    let mut cfg = bootes::chaos::ChaosConfig::new(bin);
+    if let Some(v) = flag(args, "--seeds") {
+        cfg.seeds = v.parse().map_err(|e| format!("bad --seeds {v:?}: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--seed") {
+        cfg.start_seed = v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--requests") {
+        cfg.requests = v
+            .parse()
+            .map_err(|e| format!("bad --requests {v:?}: {e}"))?;
+    }
+    if let Some(dir) = flag(args, "--scratch") {
+        cfg.scratch = std::path::PathBuf::from(dir);
+    }
+    cfg.keep_going = args.iter().any(|a| a == "--keep-going");
+    if args.iter().any(|a| a == "--no-shrink") {
+        cfg.shrink = false;
+    }
+    let report = if let Some(token) = flag(args, "--replay") {
+        let schedule = bootes::chaos::Schedule::parse_replay(&token)?;
+        let fixture = bootes::chaos::driver::ensure_fixture(&cfg)?;
+        println!(
+            "chaos: replaying seed {} [{}] spec `{}`",
+            schedule.seed,
+            schedule.workload.name(),
+            schedule.spec_string()
+        );
+        let run = bootes::chaos::run_and_shrink(&cfg, &fixture, &schedule)?;
+        let violations = run.violations.len();
+        bootes::chaos::ChaosReport {
+            runs: vec![run],
+            violations,
+        }
+    } else {
+        println!(
+            "chaos: running {} seeded schedule(s) from seed {} (scratch {})",
+            cfg.seeds,
+            cfg.start_seed,
+            cfg.scratch.display()
+        );
+        bootes::chaos::run_batch(&cfg)?
+    };
+    for run in &report.runs {
+        if run.violations.is_empty() {
+            println!(
+                "  seed {:>4} [{:>13}] PASS  {}",
+                run.seed,
+                run.workload,
+                if run.spec.is_empty() {
+                    "(no faults)"
+                } else {
+                    &run.spec
+                }
+            );
+        } else {
+            println!(
+                "  seed {:>4} [{:>13}] FAIL  {}",
+                run.seed, run.workload, run.spec
+            );
+            for v in &run.violations {
+                println!("        violation {v}");
+            }
+            println!("        replay:    bootes chaos --replay '{}'", run.replay);
+            if let Some(min) = &run.minimized {
+                println!(
+                    "        minimized: bootes chaos --replay '{min}'  ({} shrink rerun(s))",
+                    run.shrink_reruns
+                );
+            }
+        }
+    }
+    if let Some(path) = flag(args, "--out") {
+        let json = report.to_json()?;
+        std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("chaos: report written to {path}");
+    }
+    if report.passed() {
+        println!(
+            "chaos: {} schedule(s), zero invariant violations",
+            report.runs.len()
+        );
+        Ok(())
+    } else {
+        // Exit directly: the violation listing above is the diagnosis, not
+        // the subcommand usage text.
+        eprintln!(
+            "error: chaos found {} invariant violation(s) across {} schedule(s)",
+            report.violations,
+            report.runs.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 fn cmd_decide(args: &[String]) -> Result<(), String> {

@@ -53,6 +53,7 @@
 
 pub use bootes_accel as accel;
 pub use bootes_cache as cache;
+pub use bootes_chaos as chaos;
 pub use bootes_core as core;
 pub use bootes_guard as guard;
 pub use bootes_linalg as linalg;

@@ -1,0 +1,312 @@
+//! Chaos-harness integration suite: the `bootes::chaos` driver against real
+//! subprocesses, plus the failure-semantics contracts it relies on — SIGKILL
+//! crash recovery on a shared cache dir, queued-past-deadline typed rejects,
+//! and retrying-client convergence under queue-full rejections.
+//!
+//! Each test spawns its own daemons on unique sockets and scratch dirs, so
+//! the suite is parallel-safe; injected faults ride on the *children's*
+//! environment, never this process's.
+
+use std::io::BufRead as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use bootes::chaos::{run_batch, ChaosConfig};
+use bootes::serve::protocol::Request;
+use bootes::serve::{Client, MatrixPayload, RetryPolicy};
+use bootes::sparse::CsrMatrix;
+use bootes::workloads::gen::{clustered, GenConfig};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bootes-chaos-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn matrix(seed: u64) -> CsrMatrix {
+    clustered(&GenConfig::new(96, 96).seed(seed), 4, 0.85).expect("valid generator config")
+}
+
+/// Spawns a `bootes serve` child on a fresh Unix socket, waits for its
+/// readiness line, and returns `(child, stdout, addr)`. The stdout reader
+/// must stay alive until the child exits — dropping it closes the pipe and
+/// the daemon's final drained-counters print would fail. Faults go on the
+/// child's env.
+fn spawn_serve(
+    dir: &Path,
+    tag: &str,
+    extra: &[&str],
+    failpoints: Option<&str>,
+) -> (
+    std::process::Child,
+    std::io::BufReader<std::process::ChildStdout>,
+    String,
+) {
+    let sock = dir.join(format!("{tag}.sock"));
+    let _ = std::fs::remove_file(&sock);
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_bootes"));
+    cmd.arg("serve")
+        .arg("--listen")
+        .arg(format!("unix:{}", sock.display()))
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped());
+    match failpoints {
+        Some(spec) => cmd.env("BOOTES_FAILPOINTS", spec),
+        None => cmd.env_remove("BOOTES_FAILPOINTS"),
+    };
+    cmd.env_remove("BOOTES_FAILPOINT_SEED");
+    let mut child = cmd.spawn().expect("spawn serve daemon");
+    let mut stdout = std::io::BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read readiness line");
+    let addr = line
+        .trim()
+        .strip_prefix("bootes-serve listening on ")
+        .unwrap_or_else(|| panic!("daemon did not come up; first line: {line:?}"))
+        .to_string();
+    (child, stdout, addr)
+}
+
+fn client(addr: &str) -> Client {
+    let mut c = Client::connect(addr).expect("connect to daemon");
+    c.set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("set read timeout");
+    c
+}
+
+fn preprocess_req(id: u64, seed: u64, deadline_ms: Option<u64>) -> Request {
+    Request {
+        id,
+        op: "preprocess".to_string(),
+        tenant: Some("chaos-it".to_string()),
+        matrix: Some(MatrixPayload::from_csr(&matrix(seed))),
+        deadline_ms,
+    }
+}
+
+fn find_tmp(dir: &Path) -> Option<PathBuf> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    for e in entries.flatten() {
+        let name = e.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".tmp") {
+            return Some(e.path());
+        }
+    }
+    None
+}
+
+/// One chaos schedule of each workload (seeds round-robin pipeline / serve /
+/// crash-restart) runs with zero invariant violations on a healthy tree.
+#[test]
+fn chaos_batch_covers_every_workload_cleanly() {
+    let mut cfg = ChaosConfig::new(PathBuf::from(env!("CARGO_BIN_EXE_bootes")));
+    cfg.scratch = scratch("batch");
+    cfg.seeds = 3;
+    cfg.requests = 4;
+    let report = run_batch(&cfg).expect("batch infrastructure");
+    assert_eq!(report.runs.len(), 3, "one run per seed");
+    let workloads: Vec<&str> = report.runs.iter().map(|r| r.workload.as_str()).collect();
+    assert_eq!(workloads, ["pipeline", "serve", "crash-restart"]);
+    for run in &report.runs {
+        assert!(
+            run.violations.is_empty(),
+            "seed {} [{}] spec `{}` violated: {:?}",
+            run.seed,
+            run.workload,
+            run.spec,
+            run.violations
+        );
+    }
+    assert!(report.passed());
+    let _ = std::fs::remove_dir_all(&cfg.scratch);
+}
+
+/// A real SIGKILL (not an in-process abort) delivered while the daemon sits
+/// inside the cache's torn-write window must not poison the cache dir: a
+/// restarted daemon on the same `--cache-dir` sweeps the orphaned temp file
+/// and answers the re-issued request bit-identically to a fault-free run.
+#[test]
+fn sigkill_mid_cache_write_recovers_on_restart() {
+    let dir = scratch("sigkill");
+    let cache = dir.join("cache");
+    let golden_cache = dir.join("golden-cache");
+
+    // Fault-free reference answer through an identical daemon config.
+    let (mut golden_child, _golden_stdout, golden_addr) = spawn_serve(
+        &dir,
+        "golden",
+        &["--cache-dir", golden_cache.to_str().unwrap()],
+        None,
+    );
+    let golden = client(&golden_addr)
+        .request(&preprocess_req(1, 7, None))
+        .expect("golden answered");
+    assert!(golden.ok, "golden failed: {:?}", golden.error);
+    let golden_perm = golden.permutation.clone().expect("golden permutation");
+    let _ = client(&golden_addr).shutdown();
+    let _ = golden_child.wait();
+
+    // The victim: a delay failpoint holds the daemon between the cache's
+    // temp write and the atomic rename, so the kill lands mid-write.
+    let (mut victim, _victim_stdout, victim_addr) = spawn_serve(
+        &dir,
+        "victim",
+        &["--cache-dir", cache.to_str().unwrap()],
+        Some("cache.disk.tmp_written=delay:3000ms@1"),
+    );
+    let sender = {
+        let addr = victim_addr.clone();
+        std::thread::spawn(move || client(&addr).request(&preprocess_req(2, 7, None)))
+    };
+    // Wait for the torn window to open (the temp file hits disk), then kill
+    // without ceremony.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let torn = loop {
+        if let Some(p) = find_tmp(&cache) {
+            break p;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no temp file appeared; did the cache write path move?"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    victim.kill().expect("SIGKILL the daemon");
+    let _ = victim.wait();
+    let _ = sender.join();
+    assert!(
+        torn.exists(),
+        "the kill should have orphaned the temp file, not completed the write"
+    );
+
+    // Restart on the same cache dir: the open-time sweep must clear the torn
+    // entry before any request is served.
+    let (mut restarted, _restart_stdout, restart_addr) = spawn_serve(
+        &dir,
+        "restarted",
+        &["--cache-dir", cache.to_str().unwrap()],
+        None,
+    );
+    assert!(
+        find_tmp(&cache).is_none(),
+        "stale temp file survived the restart sweep"
+    );
+    let reissued = client(&restart_addr)
+        .request(&preprocess_req(3, 7, None))
+        .expect("re-issued request answered");
+    assert!(reissued.ok, "re-issue failed: {:?}", reissued.error);
+    assert_eq!(
+        reissued.permutation.as_deref(),
+        Some(golden_perm.as_slice()),
+        "recovered answer must be bit-identical to the fault-free reference"
+    );
+    let _ = client(&restart_addr).shutdown();
+    let _ = restarted.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A request whose deadline expires while it waits in the queue gets a typed
+/// rejection — `ok:false`, `deadline_exceeded:true`, an explanatory error —
+/// never silence, and the daemon still drains cleanly afterwards.
+#[test]
+fn queued_past_deadline_request_gets_typed_reject() {
+    let dir = scratch("deadline");
+    // One worker + a slow first request: anything behind it queues long
+    // enough for a 1 ms deadline to expire before dequeue.
+    let (mut child, _stdout, addr) = spawn_serve(
+        &dir,
+        "deadline",
+        &["--serve-workers", "1"],
+        Some("lanczos.restart=delay:900ms@1"),
+    );
+    let slow = {
+        let addr = addr.clone();
+        std::thread::spawn(move || client(&addr).request(&preprocess_req(10, 100, None)))
+    };
+    // Let the slow request occupy the worker before the deadlined one lands.
+    std::thread::sleep(Duration::from_millis(250));
+    let rejected = client(&addr)
+        .request(&preprocess_req(11, 101, Some(1)))
+        .expect("deadline reject is answered in-band");
+    assert!(!rejected.ok, "an expired deadline must not return ok");
+    assert!(
+        rejected.deadline_exceeded,
+        "typed flag missing: {rejected:?}"
+    );
+    let err = rejected.error.as_deref().expect("error text present");
+    assert!(err.contains("deadline exceeded"), "{err}");
+    assert!(
+        rejected.queue_ms > 0.0,
+        "the reject should report the time spent queued"
+    );
+    let slow_resp = slow
+        .join()
+        .expect("no hang")
+        .expect("slow request answered");
+    assert!(slow_resp.ok, "undeadlined request must still complete");
+    // The typed reject counts as completed, so the drain stays balanced.
+    let resp = client(&addr).shutdown().expect("shutdown answered");
+    assert!(resp.ok);
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Queue-full rejections carry a `retry_after_ms` hint; the retrying client
+/// honors it (jittered exponential backoff, floored at the hint) and
+/// converges to a successful answer within its attempt budget once the
+/// queue drains.
+#[test]
+fn retrying_client_converges_under_queue_full_rejects() {
+    let dir = scratch("retry");
+    let (mut child, _stdout, addr) = spawn_serve(
+        &dir,
+        "retry",
+        &["--serve-workers", "1", "--queue-cap", "1"],
+        Some("lanczos.restart=delay:800ms@1"),
+    );
+    // Fill the worker (slow request) and the 1-slot queue, so the retrying
+    // client's first attempts bounce off queue-full rejections.
+    let slow = {
+        let addr = addr.clone();
+        std::thread::spawn(move || client(&addr).request(&preprocess_req(20, 110, None)))
+    };
+    std::thread::sleep(Duration::from_millis(200));
+    let queued = {
+        let addr = addr.clone();
+        std::thread::spawn(move || client(&addr).request(&preprocess_req(21, 111, None)))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    let policy = RetryPolicy {
+        max_attempts: 12,
+        base_ms: 40,
+        max_backoff_ms: 400,
+        jitter_seed: 42,
+    };
+    let converged = client(&addr)
+        .request_with_retry(&preprocess_req(22, 112, None), &policy)
+        .expect("client must converge within its attempt budget");
+    assert!(
+        converged.ok,
+        "converged response failed: {:?}",
+        converged.error
+    );
+    for h in [slow, queued] {
+        let r = h.join().expect("no hang").expect("answered");
+        assert!(r.ok, "backlogged request failed: {:?}", r.error);
+    }
+    // The rejections really happened — this wasn't a lucky first attempt.
+    let stats = client(&addr).stats().expect("stats answered");
+    let rejected_queue = stats.stats.expect("stats payload").rejected_queue;
+    assert!(
+        rejected_queue >= 1,
+        "expected at least one queue-full rejection, got {rejected_queue}"
+    );
+    let resp = client(&addr).shutdown().expect("shutdown answered");
+    assert!(resp.ok);
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,7 +10,7 @@
 use std::sync::Mutex;
 
 use bootes::core::{BootesConfig, BootesPipeline, FallbackReorderer, Label, SpectralReorderer};
-use bootes::guard::{clear_failpoints, set_failpoints, Budget, GuardError};
+use bootes::guard::{clear_failpoints, Budget, GuardError, ScopedFailpoints};
 use bootes::model::{Dataset, DecisionTree, TreeConfig};
 use bootes::reorder::{ReorderError, Reorderer};
 use bootes::sparse::CsrMatrix;
@@ -39,11 +39,11 @@ fn chain() -> FallbackReorderer {
 fn lanczos_failpoint_degrades_to_recursive() {
     let _g = serial();
     // @1 fires exactly once: the spectral rung consumes it, the recursive
-    // rung's own Lanczos call runs clean.
-    set_failpoints("lanczos.restart=err@1").unwrap();
+    // rung's own Lanczos call runs clean. The scoped guard restores the
+    // previous (empty) spec when the test ends, pass or fail.
+    let _fp = ScopedFailpoints::arm("lanczos.restart=err@1").unwrap();
     let a = matrix();
     let out = chain().reorder(&a).expect("chain must absorb the fault");
-    clear_failpoints();
     assert_eq!(out.stats.algorithm, "bootes-recursive");
     assert_eq!(out.stats.degraded_from.as_deref(), Some("bootes"));
     let reason = out.stats.degrade_reason.expect("reason recorded");
@@ -54,10 +54,9 @@ fn lanczos_failpoint_degrades_to_recursive() {
 #[test]
 fn kmeans_failpoint_degrades_to_recursive() {
     let _g = serial();
-    set_failpoints("kmeans.iter=err@1").unwrap();
+    let _fp = ScopedFailpoints::arm("kmeans.iter=err@1").unwrap();
     let a = matrix();
     let out = chain().reorder(&a).expect("chain must absorb the fault");
-    clear_failpoints();
     assert_eq!(out.stats.algorithm, "bootes-recursive");
     assert_eq!(out.stats.degraded_from.as_deref(), Some("bootes"));
 }
@@ -67,10 +66,9 @@ fn persistent_lanczos_fault_falls_through_to_hier() {
     let _g = serial();
     // No @N: fires on every hit, so both eigensolver rungs fail and the
     // chain lands on the LSH reorderer, which needs no eigensolve.
-    set_failpoints("lanczos.restart=err").unwrap();
+    let _fp = ScopedFailpoints::arm("lanczos.restart=err").unwrap();
     let a = matrix();
     let out = chain().reorder(&a).expect("chain must absorb the fault");
-    clear_failpoints();
     assert_eq!(out.stats.algorithm, "hier");
     assert_eq!(out.stats.degraded_from.as_deref(), Some("bootes"));
     let reason = out.stats.degrade_reason.expect("reason recorded");
@@ -82,10 +80,10 @@ fn persistent_lanczos_fault_falls_through_to_hier() {
 fn worker_panic_is_isolated_and_degraded() {
     let _g = serial();
     bootes::par::set_threads(4);
-    set_failpoints("par.worker=panic@1").unwrap();
+    let fp = ScopedFailpoints::arm("par.worker=panic@1").unwrap();
     let a = matrix();
     let result = chain().reorder(&a);
-    clear_failpoints();
+    drop(fp);
     bootes::par::set_threads(0);
     let out = result.expect("a worker panic must not escape the chain");
     assert!(out.stats.is_degraded());
@@ -152,10 +150,10 @@ fn fallback_counters_name_the_failed_rung() {
     let _g = serial();
     bootes::obs::set_enabled(true);
     bootes::obs::reset();
-    set_failpoints("lanczos.restart=err@1").unwrap();
+    let fp = ScopedFailpoints::arm("lanczos.restart=err@1").unwrap();
     let a = matrix();
     chain().reorder(&a).expect("chain must absorb the fault");
-    clear_failpoints();
+    drop(fp);
     let profile = bootes::obs::snapshot();
     bootes::obs::set_enabled(false);
     bootes::obs::reset();
@@ -196,11 +194,10 @@ fn toy_model() -> DecisionTree {
 #[test]
 fn pipeline_preprocess_survives_faults_and_reports_degradation() {
     let _g = serial();
-    set_failpoints("lanczos.restart=err").unwrap();
+    let _fp = ScopedFailpoints::arm("lanczos.restart=err").unwrap();
     let pipeline = BootesPipeline::new(toy_model(), BootesConfig::default()).unwrap();
     let a = matrix();
     let out = pipeline.preprocess(&a).expect("pipeline must degrade");
-    clear_failpoints();
     assert!(out.decision.should_reorder());
     assert_eq!(out.stats.degraded_from.as_deref(), Some("bootes"));
     assert_eq!(out.permutation.len(), a.nrows());
@@ -209,13 +206,12 @@ fn pipeline_preprocess_survives_faults_and_reports_degradation() {
 #[test]
 fn no_fallback_surfaces_the_typed_error() {
     let _g = serial();
-    set_failpoints("lanczos.restart=err@1").unwrap();
+    let _fp = ScopedFailpoints::arm("lanczos.restart=err@1").unwrap();
     let pipeline = BootesPipeline::new(toy_model(), BootesConfig::default())
         .unwrap()
         .with_fallback(false);
     let a = matrix();
     let result = pipeline.preprocess(&a);
-    clear_failpoints();
     match result {
         Err(bootes::core::pipeline::PipelineError::Reorder(ReorderError::Guard(
             GuardError::Injected { site },
@@ -355,7 +351,7 @@ fn spawn_serve(
 /// Connects with a generous read timeout so a hung daemon fails the test
 /// instead of wedging the suite.
 fn serve_client(addr: &str) -> Client {
-    let client = Client::connect(addr).expect("connect to daemon");
+    let mut client = Client::connect(addr).expect("connect to daemon");
     client
         .set_read_timeout(Some(std::time::Duration::from_secs(60)))
         .expect("set read timeout");
