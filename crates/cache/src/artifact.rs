@@ -35,6 +35,60 @@ pub struct DecisionArtifact {
     pub class: usize,
 }
 
+/// A cached whole-matrix similarity sketch: the MinHash signature over the
+/// nonzero-cell set plus one FNV pattern hash per row. The sketch locates the
+/// nearest cached donor when the exact reorder key misses; the row hashes
+/// identify exactly which rows drifted so the resplice only re-clusters
+/// those.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SketchArtifact {
+    /// Row count of the sketched matrix (donors must match exactly).
+    pub nrows: usize,
+    /// Column count of the sketched matrix (donors must match exactly).
+    pub ncols: usize,
+    /// Nonzero count, for diagnostics.
+    pub nnz: usize,
+    /// MinHash signature length the sketch was computed with.
+    pub siglen: usize,
+    /// Hash seed the sketch was computed with.
+    pub seed: u64,
+    /// The `siglen` MinHash values (see `bootes_reorder::lsh::MatrixSketch`).
+    pub sketch: Vec<u64>,
+    /// FNV-1a hash of each row's column indices.
+    pub row_hashes: Vec<u64>,
+}
+
+/// A lightweight view of one cached sketch for the drift donor index: the
+/// signature and shape without the per-row hashes. Enumerating candidates
+/// (`Cache::sketch_candidates`) clones one of these per cached pattern, so
+/// leaving the `nrows`-long row-hash vector behind keeps the probe cost
+/// proportional to `candidates × siglen`; the winner's full
+/// [`SketchArtifact`] is fetched separately (`Cache::sketch_donor`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchCandidate {
+    /// Pattern hash of the sketched matrix (the candidate's cache-key
+    /// pattern).
+    pub pattern: u64,
+    /// Row count of the sketched matrix.
+    pub nrows: usize,
+    /// Column count of the sketched matrix.
+    pub ncols: usize,
+    /// The MinHash signature values.
+    pub sig: Vec<u64>,
+}
+
+impl SketchArtifact {
+    /// The lightweight donor-index view of this artifact.
+    pub fn candidate(&self, pattern: u64) -> SketchCandidate {
+        SketchCandidate {
+            pattern,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            sig: self.sketch.clone(),
+        }
+    }
+}
+
 /// Any cacheable preprocessing artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Artifact {
@@ -44,6 +98,8 @@ pub enum Artifact {
     Ritz(RitzArtifact),
     /// A cost-model feature vector + predicted class.
     Decision(DecisionArtifact),
+    /// A drift similarity sketch.
+    Sketch(SketchArtifact),
 }
 
 impl Artifact {
@@ -53,6 +109,7 @@ impl Artifact {
             Artifact::Reorder(_) => ArtifactKind::Reorder,
             Artifact::Ritz(_) => ArtifactKind::Ritz,
             Artifact::Decision(_) => ArtifactKind::Decision,
+            Artifact::Sketch(_) => ArtifactKind::Sketch,
         }
     }
 
@@ -85,6 +142,9 @@ impl Artifact {
             Artifact::Decision(a) => {
                 STRUCT_OVERHEAD + a.features.len() * std::mem::size_of::<f64>()
             }
+            Artifact::Sketch(a) => {
+                STRUCT_OVERHEAD + (a.sketch.len() + a.row_hashes.len()) * std::mem::size_of::<u64>()
+            }
         }
     }
 }
@@ -98,6 +158,7 @@ impl serde::Serialize for Artifact {
             Artifact::Reorder(a) => a.serialize(),
             Artifact::Ritz(a) => a.serialize(),
             Artifact::Decision(a) => a.serialize(),
+            Artifact::Sketch(a) => a.serialize(),
         };
         serde::Value::Object(vec![
             (
@@ -124,6 +185,7 @@ impl serde::Deserialize for Artifact {
             ArtifactKind::Reorder => Artifact::Reorder(serde::Deserialize::deserialize(data)?),
             ArtifactKind::Ritz => Artifact::Ritz(serde::Deserialize::deserialize(data)?),
             ArtifactKind::Decision => Artifact::Decision(serde::Deserialize::deserialize(data)?),
+            ArtifactKind::Sketch => Artifact::Sketch(serde::Deserialize::deserialize(data)?),
         })
     }
 }
@@ -159,9 +221,26 @@ mod tests {
         })
     }
 
+    fn sample_sketch() -> Artifact {
+        Artifact::Sketch(SketchArtifact {
+            nrows: 4,
+            ncols: 8,
+            nnz: 9,
+            siglen: 4,
+            seed: 0xB007E5,
+            sketch: vec![3, u64::MAX, 17, 0],
+            row_hashes: vec![11, 22, 33, 44],
+        })
+    }
+
     #[test]
     fn all_kinds_roundtrip_through_json() {
-        for artifact in [sample_reorder(), sample_ritz(), sample_decision()] {
+        for artifact in [
+            sample_reorder(),
+            sample_ritz(),
+            sample_decision(),
+            sample_sketch(),
+        ] {
             let json = serde_json::to_string(&artifact).unwrap();
             let back: Artifact = serde_json::from_str(&json).unwrap();
             assert_eq!(artifact, back);

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use bootes_sparse::Fnv1a;
 
 use crate::artifact::Artifact;
-use crate::key::CacheKey;
+use crate::key::{ArtifactKind, CacheKey};
 
 /// On-disk format version; bump on any change to the envelope, the artifact
 /// encoding, or the fingerprint scheme (see the known-answer test in
@@ -218,6 +218,51 @@ impl DiskStore {
             }
         }
         None
+    }
+
+    /// Lists the keys of every on-disk entry of `kind` whose config hash is
+    /// `config`, in lexicographic file-name order. Nothing is loaded or
+    /// validated — callers load (and thereby validate) the entries they
+    /// actually want. Used to enumerate drift sketches for the donor index.
+    pub fn keys_of_kind(&self, kind: ArtifactKind, config: u64) -> Vec<CacheKey> {
+        let prefix = format!("{}-", kind.tag());
+        let suffix = format!("-{}.json", hex16(config));
+        let mut names: Vec<String> = std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .filter(|n| n.starts_with(&prefix) && n.ends_with(&suffix))
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+            .into_iter()
+            .filter_map(|name| {
+                let pattern = name
+                    .strip_prefix(&prefix)?
+                    .strip_suffix(&suffix)
+                    .and_then(parse_hex16)?;
+                Some(CacheKey {
+                    kind,
+                    pattern,
+                    config,
+                })
+            })
+            .collect()
+    }
+
+    /// Quarantines the entry for `key` (if its file exists): the file is
+    /// moved into `quarantine/` and `cache.quarantine` incremented. For
+    /// entries that parse fine but are *semantically* invalid — e.g. a donor
+    /// permutation whose length disagrees with the requesting matrix — where
+    /// the parse-time quarantine in [`DiskStore::load`] cannot fire.
+    pub fn quarantine_entry(&self, key: &CacheKey, why: &str) {
+        let path = self.path_for(key);
+        if path.exists() {
+            self.quarantine(&path, why);
+        }
     }
 
     fn parse_entry(&self, key: &CacheKey, text: &str) -> ParseOutcome {
@@ -471,6 +516,46 @@ mod tests {
             "quarantine holds {count} files, cap is {QUARANTINE_CAP}"
         );
         assert!(count > 0, "quarantine must retain the newest entries");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_of_kind_lists_matching_config_only() {
+        let dir = tmp_dir("keys");
+        let store = DiskStore::open(&dir).unwrap();
+        let base = sample_key();
+        let other_cfg = CacheKey {
+            pattern: base.pattern ^ 1,
+            config: base.config ^ 7,
+            ..base
+        };
+        let second = CacheKey {
+            pattern: base.pattern ^ 2,
+            ..base
+        };
+        for k in [base, other_cfg, second] {
+            store.store(&k, &sample_artifact()).unwrap();
+        }
+        let keys = store.keys_of_kind(base.kind, base.config);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&base) && keys.contains(&second));
+        assert!(store
+            .keys_of_kind(ArtifactKind::Sketch, base.config)
+            .is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_entry_moves_valid_but_rejected_files() {
+        let dir = tmp_dir("qentry");
+        let store = DiskStore::open(&dir).unwrap();
+        let key = sample_key();
+        store.store(&key, &sample_artifact()).unwrap();
+        store.quarantine_entry(&key, "permutation length mismatch");
+        assert_eq!(store.load(&key), None);
+        assert!(dir.join(QUARANTINE_DIR).join(key.file_name()).exists());
+        // Quarantining a missing entry is a no-op, not a panic.
+        store.quarantine_entry(&key, "again");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -4,7 +4,7 @@ use bootes_sparse::MatrixFingerprint;
 
 /// The kind of preprocessing artifact a cache entry holds.
 ///
-/// The kind is part of the key, so the three artifact families of one matrix
+/// The kind is part of the key, so the artifact families of one matrix
 /// live in separate entries and can expire independently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArtifactKind {
@@ -14,6 +14,9 @@ pub enum ArtifactKind {
     Ritz,
     /// A cost-model feature vector and the predicted class.
     Decision,
+    /// A whole-matrix MinHash sketch plus per-row pattern hashes, used by the
+    /// drift donor lookup to find near-identical cached permutations.
+    Sketch,
 }
 
 impl ArtifactKind {
@@ -23,6 +26,7 @@ impl ArtifactKind {
             ArtifactKind::Reorder => "reorder",
             ArtifactKind::Ritz => "ritz",
             ArtifactKind::Decision => "decision",
+            ArtifactKind::Sketch => "drift.sketch",
         }
     }
 
@@ -32,6 +36,7 @@ impl ArtifactKind {
             "reorder" => Some(ArtifactKind::Reorder),
             "ritz" => Some(ArtifactKind::Ritz),
             "decision" => Some(ArtifactKind::Decision),
+            "drift.sketch" => Some(ArtifactKind::Sketch),
             _ => None,
         }
     }
@@ -101,6 +106,7 @@ mod tests {
             ArtifactKind::Reorder,
             ArtifactKind::Ritz,
             ArtifactKind::Decision,
+            ArtifactKind::Sketch,
         ] {
             assert_eq!(ArtifactKind::from_tag(kind.tag()), Some(kind));
         }

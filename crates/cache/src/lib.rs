@@ -14,7 +14,7 @@
 //! - an optional versioned on-disk layer ([`DiskStore`], `--cache-dir`) with
 //!   atomic-rename writes and quarantine-on-corruption semantics.
 //!
-//! Three artifact families are cached (see [`Artifact`]):
+//! Four artifact families are cached (see [`Artifact`]):
 //!
 //! 1. **Reorder** — the final row permutation plus its `ReorderStats`. An
 //!    exact hit skips the whole spectral pipeline and returns bit-identical
@@ -26,8 +26,12 @@
 //!    warm-started solve is deterministic but not bit-identical to cold).
 //! 3. **Decision** — the structural feature vector and the decision tree's
 //!    predicted class.
+//! 4. **Sketch** — a whole-matrix MinHash similarity sketch plus per-row
+//!    pattern hashes, consulted by the drift donor lookup
+//!    ([`Cache::sketch_candidates`] / [`Cache::reorder_donor`]) to locate a
+//!    near-identical cached permutation when the exact reorder key misses.
 //!
-//! All three are functions of the sparsity pattern only, so the keys use the
+//! All four are functions of the sparsity pattern only, so the keys use the
 //! pattern hash and matrices differing only in values share entries.
 //!
 //! Consumers integrate through the process-global instance: [`install`] a
@@ -55,7 +59,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-pub use artifact::{Artifact, DecisionArtifact, ReorderArtifact, RitzArtifact};
+pub use artifact::{
+    Artifact, DecisionArtifact, ReorderArtifact, RitzArtifact, SketchArtifact, SketchCandidate,
+};
 pub use disk::{DiskStore, FORMAT_VERSION, QUARANTINE_DIR};
 pub use key::{ArtifactKind, CacheKey};
 pub use singleflight::{FlightRole, Singleflight};
@@ -226,6 +232,107 @@ impl Cache {
         }
     }
 
+    /// Lists every cached sketch stored under the sketch config hash
+    /// `config` as lightweight [`SketchCandidate`]s sorted by pattern — the
+    /// candidate set for the drift donor index. Per-row hashes are *not*
+    /// cloned here (fetch the winner's full artifact with
+    /// [`Cache::sketch_donor`]). Memory entries win over disk entries with
+    /// the same pattern; neither layer counts hit/miss (enumeration is not a
+    /// lookup).
+    pub fn sketch_candidates(&self, config: u64) -> Vec<SketchCandidate> {
+        let mut found: Vec<SketchCandidate> = Vec::new();
+        self.mem.scan(|k, a| {
+            if let Artifact::Sketch(s) = a {
+                if k.kind == ArtifactKind::Sketch && k.config == config {
+                    found.push(s.candidate(k.pattern));
+                }
+            }
+            None::<()>
+        });
+        if let Some(disk) = &self.disk {
+            for key in disk.keys_of_kind(ArtifactKind::Sketch, config) {
+                if found.iter().any(|c| c.pattern == key.pattern) {
+                    continue;
+                }
+                if let Some(Artifact::Sketch(s)) = disk.load(&key) {
+                    found.push(s.candidate(key.pattern));
+                }
+            }
+        }
+        found.sort_by_key(|c| c.pattern);
+        found
+    }
+
+    /// Full [`SketchArtifact`] of one cached pattern — the donor-index
+    /// winner, whose per-row hashes the resplice needs. Memory first, then
+    /// disk. Does not count hit/miss — like [`Cache::reorder_donor`], a donor
+    /// is an accelerated miss, not a hit.
+    pub fn sketch_donor(&self, pattern: u64, config: u64) -> Option<SketchArtifact> {
+        let key = CacheKey {
+            kind: ArtifactKind::Sketch,
+            pattern,
+            config,
+        };
+        let artifact = match self.mem.get(&key) {
+            Some(a) => Some(a),
+            None => self.disk.as_ref().and_then(|d| d.load(&key)),
+        };
+        match artifact {
+            Some(Artifact::Sketch(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Drift donor lookup: the reorder artifact stored under the *donor's*
+    /// pattern hash and the requesting run's config hash. Does not count
+    /// hit/miss — like [`Cache::ritz_donor`], a donor is an accelerated miss,
+    /// not a hit.
+    ///
+    /// `expect_rows` is the requesting matrix's row count. A stored
+    /// permutation whose length disagrees is *quarantined* from both layers
+    /// (dropped from memory, moved to `quarantine/` on disk, counted on
+    /// `cache.quarantine`) and the lookup reports no donor — it is never
+    /// panicked on or silently applied to the wrong-sized matrix.
+    pub fn reorder_donor(
+        &self,
+        donor_pattern: u64,
+        config: u64,
+        expect_rows: usize,
+    ) -> Option<ReorderArtifact> {
+        let key = CacheKey {
+            kind: ArtifactKind::Reorder,
+            pattern: donor_pattern,
+            config,
+        };
+        let artifact = match self.mem.get(&key) {
+            Some(a) => Some(a),
+            None => self.disk.as_ref().and_then(|d| d.load(&key)),
+        };
+        let Some(Artifact::Reorder(r)) = artifact else {
+            return None;
+        };
+        if r.permutation.len() != expect_rows {
+            let why = format!(
+                "donor permutation length {} != requesting matrix rows {expect_rows}",
+                r.permutation.len()
+            );
+            self.mem.remove(&key);
+            match &self.disk {
+                // The disk path counts `cache.quarantine` itself.
+                Some(disk) => disk.quarantine_entry(&key, &why),
+                None => {
+                    bootes_obs::counter_add("cache.quarantine", 1);
+                    eprintln!(
+                        "warning: quarantined cache entry {}: {why}",
+                        key.file_name()
+                    );
+                }
+            }
+            return None;
+        }
+        Some(r)
+    }
+
     /// Snapshot of this cache's counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -371,6 +478,109 @@ mod tests {
         assert_eq!(on.ritz_donor(&ritz_key).map(|r| r.pairs), Some(pairs));
         // An exact-config entry is never its own donor.
         assert!(on.ritz_donor(&donor_key).is_none());
+    }
+
+    fn sketch(pattern_tag: u64, nrows: usize) -> SketchArtifact {
+        SketchArtifact {
+            nrows,
+            ncols: nrows,
+            nnz: nrows * 3,
+            siglen: 4,
+            seed: 9,
+            sketch: vec![pattern_tag; 4],
+            row_hashes: vec![pattern_tag; nrows],
+        }
+    }
+
+    #[test]
+    fn sketch_candidates_merge_memory_and_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("bootes-cache-sketch-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let skey = |pattern| CacheKey {
+            kind: ArtifactKind::Sketch,
+            pattern,
+            config: 77,
+        };
+        {
+            let cache = Cache::new(CacheConfig::memory_only(1 << 20).with_dir(&dir)).unwrap();
+            cache.put(skey(1), Artifact::Sketch(sketch(1, 8)));
+            cache.put(skey(2), Artifact::Sketch(sketch(2, 8)));
+        }
+        // Fresh memory layer: one entry re-cached in memory, one disk-only.
+        let cache = Cache::new(CacheConfig::memory_only(1 << 20).with_dir(&dir)).unwrap();
+        cache.put(skey(2), Artifact::Sketch(sketch(2, 8)));
+        let found = cache.sketch_candidates(77);
+        assert_eq!(
+            found.iter().map(|c| c.pattern).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        // Candidates carry the signature and shape; the winner's full
+        // artifact (row hashes included) comes from `sketch_donor`.
+        assert_eq!(found[0].sig, vec![1; 4]);
+        assert_eq!((found[0].nrows, found[0].ncols), (8, 8));
+        assert_eq!(cache.sketch_donor(1, 77), Some(sketch(1, 8)));
+        assert_eq!(cache.sketch_donor(3, 77), None);
+        // A different sketch config sees nothing.
+        assert!(cache.sketch_candidates(78).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reorder_donor_returns_matching_length_and_counts_nothing() {
+        let cache = Cache::new(CacheConfig::memory_only(1 << 20)).unwrap();
+        let rkey = CacheKey {
+            kind: ArtifactKind::Reorder,
+            pattern: 0xA1,
+            config: 3,
+        };
+        let art = ReorderArtifact {
+            permutation: bootes_sparse::Permutation::try_new(vec![1, 0, 2]).unwrap(),
+            stats: bootes_reorder::ReorderStats::new(
+                "bootes",
+                std::time::Duration::from_millis(1),
+                64,
+            ),
+        };
+        cache.put(rkey, Artifact::Reorder(art.clone()));
+        let before = cache.stats();
+        assert_eq!(cache.reorder_donor(0xA1, 3, 3), Some(art));
+        assert_eq!(cache.reorder_donor(0xA2, 3, 3), None);
+        let after = cache.stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
+    }
+
+    #[test]
+    fn mismatched_donor_length_is_quarantined_not_served() {
+        let dir =
+            std::env::temp_dir().join(format!("bootes-cache-donorlen-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::new(CacheConfig::memory_only(1 << 20).with_dir(&dir)).unwrap();
+        let rkey = CacheKey {
+            kind: ArtifactKind::Reorder,
+            pattern: 0xB2,
+            config: 5,
+        };
+        let art = ReorderArtifact {
+            permutation: bootes_sparse::Permutation::try_new(vec![2, 0, 1]).unwrap(),
+            stats: bootes_reorder::ReorderStats::new(
+                "bootes",
+                std::time::Duration::from_millis(1),
+                64,
+            ),
+        };
+        cache.put(rkey, Artifact::Reorder(art));
+        // Requesting 5 rows against a 3-row donor: no donor, entry gone from
+        // both layers, file in quarantine.
+        assert_eq!(cache.reorder_donor(0xB2, 5, 5), None);
+        assert_eq!(cache.mem.get(&rkey), None, "purged from memory");
+        assert!(
+            dir.join(QUARANTINE_DIR).join(rkey.file_name()).exists(),
+            "quarantined on disk"
+        );
+        // The (correctly sized) original request also sees nothing now.
+        assert_eq!(cache.reorder_donor(0xB2, 5, 3), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

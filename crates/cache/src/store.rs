@@ -136,6 +136,25 @@ impl MemoryStore {
         let _ = bootes_guard::check_bytes("cache.insert", total as u64);
     }
 
+    /// Removes `key` if present, returning whether an entry was dropped.
+    /// Used to purge entries discovered to be invalid after a lookup (e.g. a
+    /// donor permutation whose length disagrees with the requesting matrix).
+    pub fn remove(&self, key: &CacheKey) -> bool {
+        let mut shard = self.lock_shard(key);
+        match shard.map.remove(key) {
+            Some(e) => {
+                shard.bytes -= e.bytes;
+                self.total_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+                bootes_obs::gauge_set(
+                    "cache.bytes",
+                    self.total_bytes.load(Ordering::Relaxed) as f64,
+                );
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Runs `f` over every `(key, artifact)` pair until it returns `Some`,
     /// scanning shards in index order. Used for same-pattern (any-config)
     /// warm-start lookups; does not refresh recency.
@@ -256,6 +275,20 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.evictions(), 1);
         assert_eq!(store.bytes(), 0);
+    }
+
+    #[test]
+    fn remove_drops_entry_and_byte_accounting() {
+        let store = MemoryStore::with_budget(&Budget::unlimited());
+        store.put(key(1), decision(4, 0));
+        store.put(key(2), decision(4, 1));
+        let before = store.bytes();
+        assert!(store.remove(&key(1)));
+        assert!(!store.remove(&key(1)), "second remove is a no-op");
+        assert_eq!(store.get(&key(1)), None);
+        assert!(store.get(&key(2)).is_some());
+        assert!(store.bytes() < before);
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

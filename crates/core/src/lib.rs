@@ -39,6 +39,7 @@ pub mod pipeline;
 pub mod recursive;
 pub mod spectral;
 
+pub use bootes_drift::DriftConfig;
 pub use config::BootesConfig;
 pub use features::{MatrixFeatures, FEATURE_NAMES};
 pub use pipeline::{

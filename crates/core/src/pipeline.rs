@@ -8,13 +8,20 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use bootes_cache::{Artifact, ArtifactKind, CacheKey, DecisionArtifact, ReorderArtifact};
+use bootes_cache::{
+    Artifact, ArtifactKind, CacheKey, DecisionArtifact, ReorderArtifact, SketchArtifact,
+};
+use bootes_drift::{
+    changed_rows, resplice, row_pattern_hashes, sketch_of, DriftConfig, SimilarityIndex,
+};
 use bootes_guard::GuardError;
 use bootes_model::{DecisionTree, ModelError};
+use bootes_reorder::lsh::MatrixSketch;
 use bootes_reorder::{
     HierReorderer, MemTracker, OriginalOrder, ReorderError, ReorderOutcome, ReorderStats,
     Reorderer, StatsScope,
 };
+use bootes_sparse::MatrixFingerprint;
 use bootes_sparse::{CsrMatrix, Permutation};
 use serde::{Deserialize, Serialize};
 
@@ -259,9 +266,31 @@ pub struct BootesPipeline {
     model: DecisionTree,
     config: BootesConfig,
     fallback: bool,
+    /// Drift donor reuse: on an exact reorder-key miss, look for a cached
+    /// permutation of a near-identical pattern and resplice it instead of
+    /// recomputing (`None` disables the donor path entirely). Deliberately
+    /// *not* part of [`BootesPipeline::reorder_key`]: the donor path is a
+    /// lookup strategy, not a property of the artifact — a resplice and a
+    /// cold run of the same matrix are interchangeable entries.
+    drift: Option<DriftConfig>,
     /// Hash of the serialized tree, precomputed so cached lookups do not
     /// re-serialize the model on every matrix.
     model_hash: u64,
+}
+
+/// Result of the drift donor probe on an exact reorder-key miss.
+enum DonorProbe {
+    /// No donor qualified (or the path is disabled); run cold, unmarked.
+    NoDonor,
+    /// A donor qualified but the drift decision rejected it; run cold with
+    /// the decision recorded in the stats.
+    Fallback { donor_hex: String },
+    /// The donor was respliced; no recompute needed.
+    Respliced {
+        permutation: Permutation,
+        donor_hex: String,
+        rows: usize,
+    },
 }
 
 impl BootesPipeline {
@@ -292,6 +321,7 @@ impl BootesPipeline {
             model,
             config,
             fallback: true,
+            drift: Some(DriftConfig::default()),
             model_hash,
         })
     }
@@ -306,6 +336,19 @@ impl BootesPipeline {
         self
     }
 
+    /// Configures the drift donor path (default: `Some(DriftConfig::default())`).
+    /// `None` disables donor lookup and sketch storage — every exact-key miss
+    /// recomputes cold, exactly as before drift support existed.
+    pub fn with_drift(mut self, drift: Option<DriftConfig>) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// The active drift configuration, if the donor path is enabled.
+    pub fn drift(&self) -> Option<&DriftConfig> {
+        self.drift.as_ref()
+    }
+
     /// The wrapped model.
     pub fn model(&self) -> &DecisionTree {
         &self.model
@@ -317,8 +360,15 @@ impl BootesPipeline {
     /// process-global artifact cache is installed — the serving daemon uses
     /// it for singleflight coalescing independently of caching.
     pub fn decision_key(&self, a: &CsrMatrix) -> CacheKey {
-        let fp = bootes_sparse::MatrixFingerprint::of(a);
-        CacheKey::new(ArtifactKind::Decision, &fp, self.model_hash)
+        self.decision_key_of(&MatrixFingerprint::of(a))
+    }
+
+    /// [`BootesPipeline::decision_key`] from an already-computed fingerprint.
+    /// Fingerprinting is `O(nnz)` and `preprocess` needs both the reorder and
+    /// the decision key of the same matrix, so it computes the fingerprint
+    /// once and derives both keys from it.
+    fn decision_key_of(&self, fp: &MatrixFingerprint) -> CacheKey {
+        CacheKey::new(ArtifactKind::Decision, fp, self.model_hash)
     }
 
     /// Cache key of the full preprocessing outcome for `a`: pattern plus
@@ -326,12 +376,16 @@ impl BootesPipeline {
     /// whether the graceful-degradation chain is active). Well-defined
     /// whether or not a process-global artifact cache is installed.
     pub fn reorder_key(&self, a: &CsrMatrix) -> CacheKey {
-        let fp = bootes_sparse::MatrixFingerprint::of(a);
+        self.reorder_key_of(&MatrixFingerprint::of(a))
+    }
+
+    /// [`BootesPipeline::reorder_key`] from an already-computed fingerprint.
+    fn reorder_key_of(&self, fp: &MatrixFingerprint) -> CacheKey {
         let mut h = bootes_sparse::Fnv1a::new();
         h.write_u64(self.model_hash)
             .write_u64(bootes_cache::hash_serialized(&self.config))
             .write_u64(self.fallback as u64);
-        CacheKey::new(ArtifactKind::Reorder, &fp, h.finish())
+        CacheKey::new(ArtifactKind::Reorder, fp, h.finish())
     }
 
     /// Predicts whether and how to reorder `a` without performing the work.
@@ -340,9 +394,24 @@ impl BootesPipeline {
     ///
     /// Returns [`ModelError`] on inference failure.
     pub fn decide(&self, a: &CsrMatrix) -> Result<Decision, ModelError> {
+        let fp = bootes_cache::global().map(|_| MatrixFingerprint::of(a));
+        self.decide_with_fp(a, fp.as_ref())
+    }
+
+    /// [`BootesPipeline::decide`] with the fingerprint supplied by the caller
+    /// (`preprocess` already computed it for the reorder key). `fp` is only
+    /// consulted when a global cache is installed.
+    fn decide_with_fp(
+        &self,
+        a: &CsrMatrix,
+        fp: Option<&MatrixFingerprint>,
+    ) -> Result<Decision, ModelError> {
         let _span = bootes_obs::span!("pipeline.decide");
         let cache = bootes_cache::global();
-        let key = cache.as_ref().map(|_| self.decision_key(a));
+        let key = match (&cache, fp) {
+            (Some(_), Some(fp)) => Some(self.decision_key_of(fp)),
+            _ => None,
+        };
         if let (Some(cache), Some(key)) = (&cache, key) {
             if let Some(Artifact::Decision(hit)) = cache.get(&key) {
                 return Ok(Decision {
@@ -363,6 +432,102 @@ impl BootesPipeline {
         })
     }
 
+    /// Looks for a near-identical cached permutation to resplice instead of
+    /// recomputing. Only called on an exact reorder-key miss with a global
+    /// cache installed. `mem` is touched *only* on a successful resplice: the
+    /// `NoDonor` and `Fallback` exits leave the tracker untouched so a cold
+    /// recompute's `peak_bytes` stays bit-identical to a run without the
+    /// donor path.
+    ///
+    /// Alongside the probe result, returns the query's own [`SketchArtifact`]
+    /// when the probe got far enough to compute it — `preprocess` stores it
+    /// at cache-put time instead of sketching the same matrix twice.
+    fn probe_donor(
+        &self,
+        a: &CsrMatrix,
+        key: &CacheKey,
+        mem: &mut MemTracker,
+    ) -> (DonorProbe, Option<SketchArtifact>) {
+        let Some(drift) = &self.drift else {
+            return (DonorProbe::NoDonor, None);
+        };
+        let Some(cache) = bootes_cache::global() else {
+            return (DonorProbe::NoDonor, None);
+        };
+        // Failpoint: simulate an unavailable donor index (`drift.donor=err`).
+        if bootes_guard::fail_point("drift.donor").is_err() {
+            return (DonorProbe::NoDonor, None);
+        }
+        let candidates = cache.sketch_candidates(drift.sketch_config_hash());
+        if candidates.is_empty() {
+            return (DonorProbe::NoDonor, None);
+        }
+        let query = MatrixSketch::compute(a, drift.siglen, drift.seed);
+        let index = SimilarityIndex::new(candidates);
+        let Some(donor) = index.best_donor(&query, a.nrows(), a.ncols(), key.pattern, drift.floor)
+        else {
+            return (DonorProbe::NoDonor, None);
+        };
+        let donor_hex = format!("{:016x}", donor.pattern);
+        // The donor's permutation must exist under the *same* config hash and
+        // span exactly our row count; anything else is quarantined inside
+        // `reorder_donor` and the probe reports no donor. Its full sketch
+        // artifact carries the per-row hashes the changed-set diff needs.
+        let Some(art) = cache.reorder_donor(donor.pattern, key.config, a.nrows()) else {
+            return (DonorProbe::NoDonor, None);
+        };
+        let Some(donor_sketch) = cache.sketch_donor(donor.pattern, drift.sketch_config_hash())
+        else {
+            return (DonorProbe::NoDonor, None);
+        };
+        bootes_obs::counter_add("drift.donor_hits", 1);
+        let ours = row_pattern_hashes(a);
+        let changed = changed_rows(&donor_sketch.row_hashes, &ours);
+        // Identical to `sketch_of(a, drift)`: same hash family, same knobs.
+        let our_sketch = SketchArtifact {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            siglen: drift.siglen,
+            seed: drift.seed,
+            sketch: query.values().to_vec(),
+            row_hashes: ours,
+        };
+        if drift.should_fallback(changed.len(), a.nrows()) {
+            bootes_obs::counter_add("drift.fallbacks", 1);
+            return (DonorProbe::Fallback { donor_hex }, Some(our_sketch));
+        }
+        match resplice(a, &art.permutation, &changed) {
+            Ok(permutation) => {
+                bootes_obs::counter_add("drift.resplices", 1);
+                // Footprint of the donor path: query sketch, two row-hash
+                // vectors, the resplice scratch (inverted index + overlap
+                // counts), and the output permutation.
+                mem.alloc(
+                    drift.siglen * 8
+                        + a.nrows() * 8 * 2
+                        + a.nnz() * std::mem::size_of::<usize>()
+                        + (a.nrows() + permutation.len()) * std::mem::size_of::<usize>(),
+                );
+                (
+                    DonorProbe::Respliced {
+                        permutation,
+                        donor_hex,
+                        rows: changed.len(),
+                    },
+                    Some(our_sketch),
+                )
+            }
+            Err(e) => {
+                bootes_obs::counter_add("drift.fallbacks", 1);
+                eprintln!(
+                    "warning: drift resplice from donor {donor_hex} failed, recomputing: {e}"
+                );
+                (DonorProbe::Fallback { donor_hex }, Some(our_sketch))
+            }
+        }
+    }
+
     /// Runs the full preprocessing: decide, then reorder if advised.
     ///
     /// # Errors
@@ -370,7 +535,10 @@ impl BootesPipeline {
     /// Returns [`PipelineError`] if inference or reordering fails.
     pub fn preprocess(&self, a: &CsrMatrix) -> Result<PipelineOutcome, PipelineError> {
         let scope = StatsScope::start("bootes-pipeline", "pipeline.preprocess");
-        let key = bootes_cache::global().map(|_| self.reorder_key(a));
+        // One fingerprint pass serves both the reorder key and the decision
+        // key — fingerprinting is O(nnz) and would otherwise run twice.
+        let fp = bootes_cache::global().map(|_| MatrixFingerprint::of(a));
+        let key = fp.as_ref().map(|fp| self.reorder_key_of(fp));
         if let (Some(cache), Some(key)) = (bootes_cache::global(), key) {
             if let Some(Artifact::Reorder(hit)) = cache.get(&key) {
                 // The decision is served from its own (pattern-keyed) cache
@@ -378,7 +546,7 @@ impl BootesPipeline {
                 // feature lookup. The stored stats are the cold run's; only
                 // the wall clock and the hit marker are restamped, so
                 // `ReorderStats::canonical` of a hit equals the cold stats.
-                let decision = self.decide(a)?;
+                let decision = self.decide_with_fp(a, fp.as_ref())?;
                 let mut stats = hit.stats;
                 stats.elapsed = scope.elapsed();
                 stats.cache_hit = true;
@@ -393,7 +561,10 @@ impl BootesPipeline {
         // Feature vector fed to the decision tree (tiny, but every exit path
         // must report the tracker's actual high-water mark, never zero).
         mem.alloc(crate::FEATURE_NAMES.len() * std::mem::size_of::<f64>());
-        let decision = self.decide(a)?;
+        let decision = self.decide_with_fp(a, fp.as_ref())?;
+        // The query sketch computed by a donor probe, reused at cache-put
+        // time so the stored sketch does not cost a second O(nnz) pass.
+        let mut probed_sketch: Option<SketchArtifact> = None;
         let outcome = match decision.label {
             Label::NoReorder => {
                 mem.alloc(a.nrows() * std::mem::size_of::<usize>());
@@ -404,22 +575,56 @@ impl BootesPipeline {
                 }
             }
             Label::Reorder(k) => {
-                let cfg = self.config.clone().with_k(k);
-                let out = if self.fallback {
-                    FallbackReorderer::new(cfg).reorder(a)?
-                } else {
-                    SpectralReorderer::new(cfg).reorder(a)?
+                // Exact key missed; a near-identical pattern may still have a
+                // cached permutation worth resplicing (a donor is an
+                // accelerated miss, not a hit).
+                let probe = match &key {
+                    Some(key) => {
+                        let (probe, sketch) = self.probe_donor(a, key, &mut mem);
+                        probed_sketch = sketch;
+                        probe
+                    }
+                    None => DonorProbe::NoDonor,
                 };
-                mem.alloc(out.stats.peak_bytes);
-                let mut stats = scope.stats(&mem);
-                // Surface the chain's degradation record on the pipeline's
-                // own stats so callers see it without unwrapping the outcome.
-                stats.degraded_from = out.stats.degraded_from;
-                stats.degrade_reason = out.stats.degrade_reason;
-                PipelineOutcome {
-                    decision,
-                    permutation: out.permutation,
-                    stats,
+                match probe {
+                    DonorProbe::Respliced {
+                        permutation,
+                        donor_hex,
+                        rows,
+                    } => {
+                        let mut stats = scope.stats(&mem);
+                        stats.donor_fingerprint = Some(donor_hex);
+                        stats.rows_respliced = rows;
+                        PipelineOutcome {
+                            decision,
+                            permutation,
+                            stats,
+                        }
+                    }
+                    probe => {
+                        let cfg = self.config.clone().with_k(k);
+                        let out = if self.fallback {
+                            FallbackReorderer::new(cfg).reorder(a)?
+                        } else {
+                            SpectralReorderer::new(cfg).reorder(a)?
+                        };
+                        mem.alloc(out.stats.peak_bytes);
+                        let mut stats = scope.stats(&mem);
+                        // Surface the chain's degradation record on the
+                        // pipeline's own stats so callers see it without
+                        // unwrapping the outcome.
+                        stats.degraded_from = out.stats.degraded_from;
+                        stats.degrade_reason = out.stats.degrade_reason;
+                        if let DonorProbe::Fallback { donor_hex } = probe {
+                            stats.donor_fingerprint = Some(donor_hex);
+                            stats.drift_fallback = true;
+                        }
+                        PipelineOutcome {
+                            decision,
+                            permutation: out.permutation,
+                            stats,
+                        }
+                    }
                 }
             }
         };
@@ -428,13 +633,39 @@ impl BootesPipeline {
         // are cached.
         if !outcome.stats.is_degraded() {
             if let (Some(cache), Some(key)) = (bootes_cache::global(), key) {
+                let mut stored = outcome.stats.clone();
+                if stored.drift_fallback {
+                    // A drift fallback *recomputed* from scratch, so the
+                    // artifact is a pure cold result: strip the fallback
+                    // record before storing, or a later exact hit would
+                    // replay a donor decision that never shaped the
+                    // permutation. A resplice keeps its donor fields — they
+                    // are genuine provenance of the stored permutation.
+                    stored.drift_fallback = false;
+                    stored.donor_fingerprint = None;
+                }
                 cache.put(
                     key,
                     Artifact::Reorder(ReorderArtifact {
                         permutation: outcome.permutation.clone(),
-                        stats: outcome.stats.clone(),
+                        stats: stored,
                     }),
                 );
+                // Publish our sketch so this pattern can donate to future
+                // near-identical matrices.
+                if decision.should_reorder() {
+                    if let Some(drift) = &self.drift {
+                        let sketch = probed_sketch.take().unwrap_or_else(|| sketch_of(a, drift));
+                        cache.put(
+                            CacheKey {
+                                kind: ArtifactKind::Sketch,
+                                pattern: key.pattern,
+                                config: drift.sketch_config_hash(),
+                            },
+                            Artifact::Sketch(sketch),
+                        );
+                    }
+                }
             }
         }
         Ok(outcome)

@@ -98,6 +98,9 @@
 //! | `serve.deadline.exceeded` | requests that executed but finished past their deadline (full answer, flagged) |
 //! | `serve.client.retries` | retrying-client attempts repeated after a hinted rejection (`retry_after_ms`) |
 //! | `serve.client.reconnects` | retrying-client reconnects after a transport failure |
+//! | `drift.donor_hits` | exact-miss lookups that found a usable donor permutation (`bootes-drift`) |
+//! | `drift.resplices` | donor permutations patched incrementally instead of recomputed |
+//! | `drift.fallbacks` | donor candidates abandoned for a full recompute (threshold exceeded or resplice failed) |
 //! | `chaos.runs` | chaos schedules executed by `bootes chaos` (including shrink reruns) |
 //! | `chaos.violations` | invariant violations found across a chaos batch |
 //! | `chaos.shrink_reruns` | subprocess reruns spent minimizing failing schedules |

@@ -142,6 +142,97 @@ impl MinHashSignatures {
     }
 }
 
+/// A whole-matrix MinHash sketch over the set of nonzero *cells*
+/// `(row, col)`, using the same Carter–Wegman hash family as the per-row
+/// [`MinHashSignatures`] in its one-permutation form: each cell is hashed
+/// once and routed to bucket `h % siglen`, which keeps the minimum hash it
+/// sees.
+///
+/// Two sketches computed with the same `(siglen, seed)` estimate the Jaccard
+/// similarity of the two matrices' nonzero-cell sets — near 1.0 for a matrix
+/// that drifted by a few entries, near 0.0 for unrelated patterns. This is
+/// the similarity measure behind the drift donor lookup (`bootes-drift`):
+/// cheap to compute (`O(nnz)` — one hash per cell, independent of the
+/// signature length), cheap to store (`siglen` words), and comparable
+/// without access to either matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixSketch {
+    sig: Vec<u64>,
+}
+
+impl MatrixSketch {
+    /// Computes a `siglen`-bucket one-permutation MinHash sketch of `a`'s
+    /// nonzero cells.
+    ///
+    /// An empty matrix gets the all-`u64::MAX` sketch (every bucket empty),
+    /// which estimates similarity 1.0 only against another empty matrix of
+    /// any shape (shape filtering is the caller's concern).
+    pub fn compute(a: &CsrMatrix, siglen: usize, seed: u64) -> Self {
+        let siglen = siglen.max(1);
+        let (ha, hb) = hash_params(1, seed)[0];
+        let mut sig = vec![u64::MAX; siglen];
+        let ncols = a.ncols() as u64;
+        for r in 0..a.nrows() {
+            let (cols, _) = a.row(r);
+            for &c in cols {
+                // 1-based flat cell id, same convention as the row hashing
+                // above (0 would collapse under `a * x`).
+                let cell = (r as u64) * ncols + c as u64 + 1;
+                let h = (ha.wrapping_mul(cell).wrapping_add(hb)) % PRIME;
+                let bucket = (h % siglen as u64) as usize;
+                if h < sig[bucket] {
+                    sig[bucket] = h;
+                }
+            }
+        }
+        MatrixSketch { sig }
+    }
+
+    /// Rebuilds a sketch from stored signature values (e.g. a cached
+    /// artifact).
+    pub fn from_values(sig: Vec<u64>) -> Self {
+        MatrixSketch { sig }
+    }
+
+    /// The signature values.
+    pub fn values(&self) -> &[u64] {
+        &self.sig
+    }
+
+    /// Signature length.
+    pub fn siglen(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// Estimated Jaccard similarity of the two nonzero-cell sets: the
+    /// fraction of matching positions among buckets that at least one sketch
+    /// filled (both-empty buckets carry no evidence and are skipped, so two
+    /// sparse but unrelated patterns do not look similar just by leaving the
+    /// same buckets empty). Two all-empty sketches — two empty matrices —
+    /// estimate 1.0. Sketches of different lengths (different
+    /// configurations) are incomparable and estimate 0.
+    pub fn estimate_jaccard(&self, other: &MatrixSketch) -> f64 {
+        if self.sig.is_empty() || self.sig.len() != other.sig.len() {
+            return 0.0;
+        }
+        let mut matches = 0usize;
+        let mut informative = 0usize;
+        for (a, b) in self.sig.iter().zip(&other.sig) {
+            if *a == u64::MAX && *b == u64::MAX {
+                continue;
+            }
+            informative += 1;
+            if a == b {
+                matches += 1;
+            }
+        }
+        if informative == 0 {
+            return 1.0;
+        }
+        matches as f64 / informative as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

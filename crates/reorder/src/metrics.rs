@@ -83,6 +83,18 @@ pub struct ReorderStats {
     /// cache instead of being recomputed. Cached stats report the (near-zero)
     /// lookup time in `elapsed`, not the original computation time.
     pub cache_hit: bool,
+    /// When the exact cache key missed but a near-identical *donor* entry was
+    /// found (drift reuse), the donor's pattern hash as 16 lowercase hex
+    /// digits. Set both when the donor was respliced and when the drift
+    /// threshold forced a fallback recompute; `None` when no donor was
+    /// involved.
+    pub donor_fingerprint: Option<String>,
+    /// Rows re-clustered and spliced into the donor order. Zero when the
+    /// permutation was not derived from a donor.
+    pub rows_respliced: usize,
+    /// True when a donor was found but the rows-changed fraction exceeded the
+    /// drift threshold (or the resplice failed), forcing a full recompute.
+    pub drift_fallback: bool,
 }
 
 impl ReorderStats {
@@ -95,6 +107,9 @@ impl ReorderStats {
             degraded_from: None,
             degrade_reason: None,
             cache_hit: false,
+            donor_fingerprint: None,
+            rows_respliced: 0,
+            drift_fallback: false,
         }
     }
 
@@ -141,6 +156,23 @@ impl serde::Serialize for ReorderStats {
         if self.cache_hit {
             fields.push(("cache_hit".to_string(), self.cache_hit.serialize()));
         }
+        // Drift fields omitted at their defaults: stats from runs that never
+        // touched a donor stay byte-identical to the pre-drift format.
+        if let Some(donor) = &self.donor_fingerprint {
+            fields.push(("donor_fingerprint".to_string(), donor.serialize()));
+        }
+        if self.rows_respliced > 0 {
+            fields.push((
+                "rows_respliced".to_string(),
+                self.rows_respliced.serialize(),
+            ));
+        }
+        if self.drift_fallback {
+            fields.push((
+                "drift_fallback".to_string(),
+                self.drift_fallback.serialize(),
+            ));
+        }
         serde::Value::Object(fields)
     }
 }
@@ -168,6 +200,15 @@ impl serde::Deserialize for ReorderStats {
             degraded_from: optional("degraded_from")?,
             degrade_reason: optional("degrade_reason")?,
             cache_hit: match v.get("cache_hit") {
+                None | Some(serde::Value::Null) => false,
+                Some(val) => serde::Deserialize::deserialize(val)?,
+            },
+            donor_fingerprint: optional("donor_fingerprint")?,
+            rows_respliced: match v.get("rows_respliced") {
+                None | Some(serde::Value::Null) => 0,
+                Some(val) => serde::Deserialize::deserialize(val)?,
+            },
+            drift_fallback: match v.get("drift_fallback") {
                 None | Some(serde::Value::Null) => false,
                 Some(val) => serde::Deserialize::deserialize(val)?,
             },
@@ -284,6 +325,38 @@ mod tests {
             serde_json::to_string(&cold.canonical()).unwrap(),
             serde_json::to_string(&hit.canonical()).unwrap()
         );
+    }
+
+    #[test]
+    fn drift_fields_roundtrip_and_are_omitted_at_defaults() {
+        // Defaults: serialization is byte-identical to the pre-drift format.
+        let plain = ReorderStats::new("bootes", Duration::from_millis(1), 64);
+        let json = serde_json::to_string(&plain).unwrap();
+        assert!(!json.contains("donor_fingerprint"), "{json}");
+        assert!(!json.contains("rows_respliced"), "{json}");
+        assert!(!json.contains("drift_fallback"), "{json}");
+
+        // Respliced-from-donor stats roundtrip.
+        let mut spliced = plain.clone();
+        spliced.donor_fingerprint = Some("00000000000000ab".to_string());
+        spliced.rows_respliced = 7;
+        let json = serde_json::to_string(&spliced).unwrap();
+        assert!(json.contains("\"rows_respliced\":7"), "{json}");
+        let back: ReorderStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(spliced, back);
+
+        // Fallback-decision stats roundtrip.
+        let mut fell_back = plain.clone();
+        fell_back.donor_fingerprint = Some("00000000000000cd".to_string());
+        fell_back.drift_fallback = true;
+        let json = serde_json::to_string(&fell_back).unwrap();
+        assert!(json.contains("\"drift_fallback\":true"), "{json}");
+        let back: ReorderStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(fell_back, back);
+
+        // The drift decision describes the computation, so canonical keeps it.
+        assert_eq!(spliced.canonical().rows_respliced, 7);
+        assert!(fell_back.canonical().drift_fallback);
     }
 
     #[test]

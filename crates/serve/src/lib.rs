@@ -77,6 +77,24 @@ pub fn default_model() -> DecisionTree {
 ///
 /// Returns the model-validation error text.
 pub fn build_pipeline(model: Option<DecisionTree>) -> Result<BootesPipeline, String> {
+    build_pipeline_with_drift(model, Some(bootes_core::DriftConfig::default()))
+}
+
+/// [`build_pipeline`] with an explicit drift donor configuration: `None`
+/// disables donor reuse entirely (the daemon's `--no-donor`), `Some` tunes
+/// the resplice-vs-recompute threshold (`--drift-threshold`).
+///
+/// # Errors
+///
+/// Returns the model-validation error text.
+pub fn build_pipeline_with_drift(
+    model: Option<DecisionTree>,
+    drift: Option<bootes_core::DriftConfig>,
+) -> Result<BootesPipeline, String> {
     let model = model.unwrap_or_else(default_model);
-    BootesPipeline::new(model, bootes_core::BootesConfig::default()).map_err(|e| e.to_string())
+    Ok(
+        BootesPipeline::new(model, bootes_core::BootesConfig::default())
+            .map_err(|e| e.to_string())?
+            .with_drift(drift),
+    )
 }

@@ -26,10 +26,12 @@
 //! # }
 //! ```
 
+pub mod drift;
 pub mod gen;
 pub mod scramble;
 pub mod suite;
 
+pub use drift::{drifting_sequence, DriftStep};
 pub use gen::{GenConfig, GenError};
 pub use scramble::scramble_rows;
 pub use suite::{table3_suite, SuiteEntry};

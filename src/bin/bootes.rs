@@ -141,6 +141,12 @@ global flags (any subcommand):
                           for every choice)
   --no-fallback           disable the graceful-degradation chain: a failed or
                           over-budget spectral reorder becomes a hard error
+  --drift-threshold F     rows-changed fraction above which a cached donor
+                          permutation is abandoned for a full recompute
+                          (default: 0.25; 0 always recomputes, 1 always
+                          resplices)
+  --no-donor              disable drift donor reuse: every exact cache miss
+                          recomputes cold, no sketches are stored
   --profile               collect spans/metrics, print profile table to stderr
   --profile-out FILE.json write the profile as JSON
   --trace-out FILE.json   write a Chrome trace-event file
@@ -156,6 +162,7 @@ struct ProfileOpts {
     profile_out: Option<String>,
     trace_out: Option<String>,
     no_fallback: bool,
+    drift: Option<bootes::core::DriftConfig>,
     _budget: Option<bootes::guard::ArmedBudget>,
 }
 
@@ -165,6 +172,8 @@ impl ProfileOpts {
         let mut profile_out = None;
         let mut trace_out = None;
         let mut no_fallback = false;
+        let mut no_donor = false;
+        let mut drift_threshold: Option<f64> = None;
         let mut use_cache = true;
         let mut cache_dir: Option<String> = None;
         let mut cache_mem_mb: u64 = 256;
@@ -184,6 +193,24 @@ impl ProfileOpts {
                 "--no-cache" => {
                     use_cache = false;
                     args.remove(i);
+                }
+                "--no-donor" => {
+                    no_donor = true;
+                    args.remove(i);
+                }
+                "--drift-threshold" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("--drift-threshold needs a value argument".to_string());
+                    }
+                    let value = args.remove(i);
+                    let t: f64 = value
+                        .parse()
+                        .map_err(|e| format!("bad --drift-threshold value {value:?}: {e}"))?;
+                    if !(0.0..=1.0).contains(&t) {
+                        return Err(format!("--drift-threshold {t} outside [0, 1]"));
+                    }
+                    drift_threshold = Some(t);
                 }
                 "--cache-warm-start" => {
                     cache_warm = true;
@@ -287,6 +314,15 @@ impl ProfileOpts {
         } else {
             Some(budget.arm())
         };
+        let drift = if no_donor {
+            None
+        } else {
+            let mut cfg = bootes::core::DriftConfig::default();
+            if let Some(t) = drift_threshold {
+                cfg = cfg.with_threshold(t);
+            }
+            Some(cfg)
+        };
         Ok((
             args,
             ProfileOpts {
@@ -294,6 +330,7 @@ impl ProfileOpts {
                 profile_out,
                 trace_out,
                 no_fallback,
+                drift,
                 _budget: armed,
             },
         ))
@@ -363,10 +400,10 @@ fn run(args: &[String], prof: &ProfileOpts) -> Result<(), String> {
         "features" => cmd_features(&args[1..]),
         "simulate" => cmd_simulate(&args[1..], prof.no_fallback),
         "train" => cmd_train(&args[1..]),
-        "decide" => cmd_decide(&args[1..]),
+        "decide" => cmd_decide(&args[1..], prof.drift.clone()),
         "analyze" => cmd_analyze(&args[1..]),
         "perf" => cmd_perf(&args[1..]),
-        "serve" => cmd_serve(&args[1..]),
+        "serve" => cmd_serve(&args[1..], prof.drift.clone()),
         "chaos" => cmd_chaos(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -796,7 +833,7 @@ fn cmd_perf_bless(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(args: &[String]) -> Result<(), String> {
+fn cmd_serve(args: &[String], drift: Option<bootes::core::DriftConfig>) -> Result<(), String> {
     let mut config = bootes::serve::ServeConfig::default();
     if let Some(addr) = flag(args, "--listen") {
         config.listen = addr;
@@ -839,7 +876,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    let pipeline = bootes::serve::build_pipeline(model)?;
+    let pipeline = bootes::serve::build_pipeline_with_drift(model, drift)?;
     let handle = bootes::serve::start(config, pipeline)
         .map_err(|e| format!("failed to start serve daemon: {e}"))?;
     // Machine-parseable readiness line: tests and load generators wait for
@@ -960,7 +997,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_decide(args: &[String]) -> Result<(), String> {
+fn cmd_decide(args: &[String], drift: Option<bootes::core::DriftConfig>) -> Result<(), String> {
     let input = args
         .first()
         .filter(|a| !a.starts_with('-'))
@@ -970,7 +1007,9 @@ fn cmd_decide(args: &[String]) -> Result<(), String> {
     let json =
         std::fs::read_to_string(&model_path).map_err(|e| format!("read {model_path}: {e}"))?;
     let tree = DecisionTree::from_json(&json).map_err(|e| e.to_string())?;
-    let pipeline = BootesPipeline::new(tree, BootesConfig::default()).map_err(|e| e.to_string())?;
+    let pipeline = BootesPipeline::new(tree, BootesConfig::default())
+        .map_err(|e| e.to_string())?
+        .with_drift(drift);
     let decision = pipeline.decide(&a).map_err(|e| e.to_string())?;
     match decision.label {
         Label::NoReorder => println!("{input}: do not reorder"),

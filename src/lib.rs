@@ -28,6 +28,9 @@
 //! - [`perf`]: the statistically rigorous bench runner (warmup + repeats,
 //!   median/MAD), the append-only run history, blessed baselines, and the
 //!   noise-aware regression comparator behind `bootes perf diff`.
+//! - [`drift`]: incremental reordering for drifting matrices — donor lookup
+//!   over cached sketches, changed-row resplicing, and the drift-threshold
+//!   fallback decision (see the README "Drift & donor reuse" section).
 //! - [`serve`]: the long-running reorder/decision daemon behind
 //!   `bootes serve` — newline-delimited JSON over Unix/TCP sockets with
 //!   bounded admission, per-tenant budgets, singleflight coalescing and
@@ -55,6 +58,7 @@ pub use bootes_accel as accel;
 pub use bootes_cache as cache;
 pub use bootes_chaos as chaos;
 pub use bootes_core as core;
+pub use bootes_drift as drift;
 pub use bootes_guard as guard;
 pub use bootes_linalg as linalg;
 pub use bootes_model as model;

@@ -292,3 +292,117 @@ proptest! {
         prop_assert_eq!(fa, MatrixFingerprint::of(&a.clone()));
     }
 }
+
+// Drift-path properties backing the incremental reorder (donor) machinery:
+// a resplice must always emit a lawful permutation, the donor lookup must
+// never hand out a candidate below the similarity floor, and the fallback
+// threshold's edge values must be absolute.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `resplice` always yields a valid bijection, keeps the donor's
+    /// relative order among unchanged rows, and returns the donor verbatim
+    /// on an empty delta — for arbitrary matrices, donor orders, and
+    /// changed-row subsets.
+    #[test]
+    fn resplice_emits_bijection(
+        a in square_matrix(20, 60),
+        keys in proptest::collection::vec(0u64..1000, 20),
+        flags in proptest::collection::vec(0u32..2, 20),
+    ) {
+        use bootes::drift::resplice;
+        let n = a.nrows();
+        // Arbitrary donor order from the key material.
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by_key(|&i| (keys[i], i));
+        let donor = Permutation::try_new(idx).expect("bijection by construction");
+        let changed: Vec<usize> = (0..n).filter(|&r| flags[r] == 1).collect();
+
+        let out = resplice(&a, &donor, &changed).expect("valid inputs resplice");
+        let mut sorted = out.as_slice().to_vec();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "not a bijection");
+        if changed.is_empty() {
+            prop_assert_eq!(&out, &donor);
+        }
+        // Unchanged rows never swap places relative to each other.
+        let unchanged_seq = |p: &Permutation| -> Vec<usize> {
+            p.as_slice().iter().copied().filter(|r| flags[*r] == 0).collect()
+        };
+        prop_assert_eq!(unchanged_seq(&out), unchanged_seq(&donor));
+    }
+
+    /// `best_donor` never returns a candidate below the similarity floor,
+    /// never the query's own pattern, never a shape mismatch — and what it
+    /// returns is the true argmax among the qualifying candidates.
+    #[test]
+    fn best_donor_never_below_floor(
+        query_m in square_matrix(16, 50),
+        others in proptest::collection::vec(square_matrix(16, 50), 1..4),
+        floor in 0.0f64..1.001,
+    ) {
+        use bootes::drift::{sketch_of, DriftConfig, SimilarityIndex};
+        use bootes::reorder::lsh::MatrixSketch;
+        let cfg = DriftConfig::default().with_siglen(32);
+        const QUERY_PATTERN: u64 = 1;
+        let mut candidates = vec![sketch_of(&query_m, &cfg).candidate(QUERY_PATTERN)];
+        for (i, m) in others.iter().enumerate() {
+            candidates.push(sketch_of(m, &cfg).candidate(2 + i as u64));
+        }
+        let sims: Vec<(u64, usize, usize, f64)> = candidates
+            .iter()
+            .map(|c| {
+                let s = MatrixSketch::from_values(c.sig.clone());
+                let q = MatrixSketch::compute(&query_m, cfg.siglen, cfg.seed);
+                (c.pattern, c.nrows, c.ncols, q.estimate_jaccard(&s))
+            })
+            .collect();
+        let index = SimilarityIndex::new(candidates);
+        let query = MatrixSketch::compute(&query_m, cfg.siglen, cfg.seed);
+        let best = index.best_donor(
+            &query,
+            query_m.nrows(),
+            query_m.ncols(),
+            QUERY_PATTERN,
+            floor,
+        );
+        let qualifying = sims.iter().filter(|(p, nr, nc, sim)| {
+            *p != QUERY_PATTERN && *nr == query_m.nrows() && *nc == query_m.ncols() && *sim >= floor
+        });
+        match best {
+            Some(m) => {
+                prop_assert!(m.similarity >= floor, "below floor: {} < {floor}", m.similarity);
+                prop_assert_ne!(m.pattern, QUERY_PATTERN, "self-donation");
+                let (_, nr, nc, sim) = sims.iter().find(|(p, ..)| *p == m.pattern).expect("known");
+                prop_assert_eq!(*nr, query_m.nrows());
+                prop_assert_eq!(*nc, query_m.ncols());
+                prop_assert_eq!(*sim, m.similarity, "reported similarity is the estimate");
+                for (p, _, _, other) in qualifying.clone() {
+                    prop_assert!(*other <= m.similarity, "candidate {p} beats the winner");
+                }
+            }
+            None => {
+                prop_assert_eq!(qualifying.count(), 0, "a qualifying candidate was ignored");
+            }
+        }
+    }
+
+    /// Threshold edges are absolute: 0.0 falls back on any nonempty delta,
+    /// 1.0 never falls back, and the decision is monotone in the threshold.
+    #[test]
+    fn fallback_threshold_edges(nrows in 1usize..500, changed_frac in 0.0f64..1.001, t in 0.0f64..1.001) {
+        use bootes::drift::DriftConfig;
+        let changed = ((changed_frac * nrows as f64) as usize).min(nrows);
+        let zero = DriftConfig::default().with_threshold(0.0);
+        let one = DriftConfig::default().with_threshold(1.0);
+        prop_assert_eq!(zero.should_fallback(changed, nrows), changed > 0);
+        prop_assert!(!one.should_fallback(changed, nrows));
+        // Monotonicity: if a looser threshold falls back, every tighter one does.
+        let mid = DriftConfig::default().with_threshold(t);
+        if mid.should_fallback(changed, nrows) {
+            prop_assert!(zero.should_fallback(changed, nrows));
+        } else {
+            prop_assert!(!one.should_fallback(changed, nrows));
+        }
+    }
+}
